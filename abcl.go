@@ -1,0 +1,261 @@
+// Package abcl is the public API of the ABCL/onAP1000 reproduction: a
+// concurrent object-oriented language runtime in the style of Taura,
+// Matsuoka and Yonezawa's PPOPP'93 paper "An Efficient Implementation Scheme
+// of Concurrent Object-Oriented Languages on Stock Multicomputers", running
+// on a simulated stock multicomputer.
+//
+// A System bundles a simulated machine (nodes, torus network, instruction
+// cost model), the intra-node runtime (multiple virtual function tables and
+// integrated stack/queue scheduling) and the inter-node layer (Active
+// Message handlers and chunk-stock remote creation). Programs define message
+// patterns and classes, create objects, inject initial messages, and run the
+// system to quiescence in virtual time:
+//
+//	sys, _ := abcl.NewSystem(abcl.Config{Nodes: 4})
+//	hello := sys.Pattern("hello", 0)
+//	greeter := sys.Class("greeter", 0, nil)
+//	greeter.Method(hello, func(ctx *abcl.Ctx) { fmt.Println("hi") })
+//	obj := sys.NewObjectOn(0, greeter)
+//	sys.Send(obj, hello)
+//	sys.Run()
+//
+// Method bodies are written in continuation-passing style: operations that
+// may block (Ctx.SendNow, Ctx.WaitFor, Ctx.Create) take the rest of the
+// method as an explicit continuation, mirroring the paper's saved-context
+// heap frames.
+package abcl
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/remote"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Re-exported runtime types. See package core for their documentation.
+type (
+	// Value is a message argument or state variable.
+	Value = core.Value
+	// Address is an object's mail address: (node, pointer).
+	Address = core.Address
+	// Ctx is a method invocation context.
+	Ctx = core.Ctx
+	// Frame is a received message (pattern + arguments).
+	Frame = core.Frame
+	// Pattern identifies a message pattern.
+	Pattern = core.PatternID
+	// Class describes a concurrent object class.
+	Class = core.Class
+	// InitCtx is the context passed to lazy state initializers.
+	InitCtx = core.InitCtx
+	// InitFunc lazily initializes an object's state.
+	InitFunc = core.InitFunc
+	// MethodFunc is a compiled method body.
+	MethodFunc = core.MethodFunc
+	// Policy selects stack-based or naive scheduling.
+	Policy = core.Policy
+	// Counters aggregates runtime event counts.
+	Counters = stats.Counters
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Placement chooses nodes for remote creation.
+	Placement = remote.Placement
+)
+
+// Scheduling policies.
+const (
+	StackBased = core.PolicyStackBased
+	Naive      = core.PolicyNaive
+)
+
+// SendHint encodes the compile-time send optimizations of the paper's
+// Section 6.1; see core.SendHint.
+type SendHint = core.SendHint
+
+// Send-site optimization hints (Section 6.1): with all four applied the
+// dormant-path send costs 8 instructions instead of 25.
+const (
+	HintKnownLocal     = core.HintKnownLocal
+	HintLeafMethod     = core.HintLeafMethod
+	HintNoQueueCheck   = core.HintNoQueueCheck
+	HintNoPoll         = core.HintNoPoll
+	HintFullyOptimized = core.HintFullyOptimized
+)
+
+// Nil is the zero Value.
+var Nil = core.Nil
+
+// Value constructors, re-exported for ergonomic method bodies.
+var (
+	// Int makes an integer Value.
+	Int = core.IntV
+	// Bool makes a boolean Value.
+	Bool = core.BoolV
+	// Float makes a floating-point Value.
+	Float = core.FloatV
+	// Str makes a string Value.
+	Str = core.StrV
+	// Ref makes a mail-address Value.
+	Ref = core.RefV
+	// Any wraps an opaque immutable payload.
+	Any = core.AnyV
+)
+
+// Placement policies for remote creation.
+var (
+	PlaceRoundRobin Placement = remote.RoundRobin{}
+	PlaceRandom     Placement = remote.Random{}
+	PlaceLocal      Placement = remote.LocalOnly{}
+	PlaceLoadBased  Placement = remote.LoadBased{}
+	PlaceDepthLocal Placement = remote.DepthLocal{}
+)
+
+// Config describes a System. The zero value of every field selects the
+// AP1000-flavoured default.
+type Config struct {
+	// Nodes is the processor count (default 1).
+	Nodes int
+	// Policy selects stack-based (default) or naive scheduling.
+	Policy Policy
+	// MaxStackDepth bounds stack-based invocation nesting (default 64).
+	MaxStackDepth int
+	// StockDepth is the chunk-stock depth per (node, class); -1 disables
+	// the stock (every remote create blocks), 0 selects the default of 2.
+	StockDepth int
+	// Placement picks remote-creation targets (default round-robin).
+	Placement Placement
+	// Seed drives randomized placement deterministically.
+	Seed int64
+	// Machine overrides the full machine configuration; when nil an
+	// AP1000-like default (25MHz, CPI 2.3, squarish torus) is used.
+	Machine *machine.Config
+	// TraceCapacity, when positive, enables runtime event tracing into a
+	// ring buffer of that many events, available as System.Trace.
+	TraceCapacity int
+}
+
+// System is a complete simulated multicomputer running the ABCL runtime.
+type System struct {
+	M   *machine.Machine
+	RT  *core.Runtime
+	Net *remote.Layer
+	// Trace holds runtime events when Config.TraceCapacity was positive.
+	Trace *trace.Ring
+}
+
+// NewSystem builds a System from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	mcfg := machine.DefaultConfig(cfg.Nodes)
+	if cfg.Machine != nil {
+		mcfg = *cfg.Machine
+		mcfg.Nodes = cfg.Nodes
+	}
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("abcl: %w", err)
+	}
+	var ring *trace.Ring
+	if cfg.TraceCapacity > 0 {
+		ring = trace.NewRing(cfg.TraceCapacity)
+	}
+	rt := core.NewRuntime(m, core.Options{
+		Policy:        cfg.Policy,
+		MaxStackDepth: cfg.MaxStackDepth,
+		Trace:         ring,
+	})
+	stock := cfg.StockDepth
+	switch {
+	case stock < 0:
+		stock = 0
+	case stock == 0:
+		stock = 2
+	}
+	placement := cfg.Placement
+	if placement == nil {
+		placement = remote.RoundRobin{}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	net := remote.Attach(rt, remote.Options{
+		StockDepth: stock,
+		Placement:  placement,
+		Seed:       seed,
+	})
+	return &System{M: m, RT: rt, Net: net, Trace: ring}, nil
+}
+
+// MustNewSystem is NewSystem for known-good configurations.
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Pattern registers (or looks up) a message pattern.
+func (s *System) Pattern(name string, arity int) Pattern {
+	return s.RT.Reg.Register(name, arity)
+}
+
+// Class defines a new object class with stateSize state variables and an
+// optional lazy initializer.
+func (s *System) Class(name string, stateSize int, init InitFunc) *Class {
+	return s.RT.DefineClass(name, stateSize, init)
+}
+
+// NewObjectOn creates an object on a node from the host side (bootstrap).
+func (s *System) NewObjectOn(node int, cl *Class, ctorArgs ...Value) Address {
+	return s.RT.NewObjectOn(node, cl, ctorArgs...)
+}
+
+// Send injects a message from the host side. The message is buffered and
+// scheduled on the target's node.
+func (s *System) Send(to Address, p Pattern, args ...Value) {
+	s.RT.Inject(to, p, args...)
+}
+
+// Run freezes the system (fixing patterns and building all virtual function
+// tables) and executes until quiescence.
+func (s *System) Run() error { return s.RT.Run() }
+
+// Migrate moves a quiescent object to another node (a category-4 service):
+// its state travels in a packet and a forwarder is installed at the old
+// address, so existing references keep working one hop slower. The transfer
+// happens in simulated time; run the system (or continue running it) for
+// the move to complete. onDone, if non-nil, observes the new address.
+func (s *System) Migrate(obj Address, target int, onDone func(Address)) error {
+	s.RT.Freeze()
+	return s.Net.Migrate(obj.Obj, target, onDone)
+}
+
+// Nodes returns the node count.
+func (s *System) Nodes() int { return s.M.Nodes() }
+
+// Elapsed returns the parallel makespan: the largest node clock.
+func (s *System) Elapsed() Time { return s.M.MaxClock() }
+
+// Utilization returns busy time over (makespan x nodes).
+func (s *System) Utilization() float64 { return s.M.Utilization() }
+
+// Stats aggregates runtime counters over all nodes.
+func (s *System) Stats() Counters { return s.RT.TotalStats() }
+
+// TotalInstructions returns the instruction count summed over nodes.
+func (s *System) TotalInstructions() uint64 { return s.M.TotalInstr() }
+
+// Packets returns the total inter-node packet count.
+func (s *System) Packets() uint64 { return s.M.TotalPackets }
+
+// InstrTime converts an instruction count to virtual time under the
+// system's clock and CPI configuration.
+func (s *System) InstrTime(instr int) Time { return s.M.Cfg.InstrTime(instr) }

@@ -1,0 +1,209 @@
+package abcl_test
+
+import (
+	"testing"
+
+	abcl "repro"
+	"repro/internal/machine"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := abcl.NewSystem(abcl.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Nodes() != 1 {
+		t.Errorf("default nodes = %d, want 1", sys.Nodes())
+	}
+	if sys.Elapsed() != 0 {
+		t.Errorf("fresh system elapsed = %v, want 0", sys.Elapsed())
+	}
+}
+
+func TestNewSystemInvalidMachine(t *testing.T) {
+	bad := machine.DefaultConfig(4)
+	bad.ClockMHz = -1
+	if _, err := abcl.NewSystem(abcl.Config{Nodes: 4, Machine: &bad}); err == nil {
+		t.Fatal("invalid machine config must be rejected")
+	}
+}
+
+func TestMustNewSystemPanics(t *testing.T) {
+	bad := machine.DefaultConfig(4)
+	bad.CPI = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewSystem must panic on bad config")
+		}
+	}()
+	abcl.MustNewSystem(abcl.Config{Nodes: 4, Machine: &bad})
+}
+
+func TestEndToEndFacade(t *testing.T) {
+	sys := abcl.MustNewSystem(abcl.Config{Nodes: 2, Seed: 7})
+	echo := sys.Pattern("echo", 1)
+	kick := sys.Pattern("kick", 0)
+
+	var target abcl.Address
+	var got string
+	svc := sys.Class("svc", 0, nil)
+	svc.Method(echo, func(ctx *abcl.Ctx) { ctx.Reply(ctx.Arg(0)) })
+	drv := sys.Class("drv", 0, nil)
+	drv.Method(kick, func(ctx *abcl.Ctx) {
+		ctx.SendNow(target, echo, []abcl.Value{abcl.Str("hi")}, func(ctx *abcl.Ctx, v abcl.Value) {
+			got = v.Str()
+		})
+	})
+
+	target = sys.NewObjectOn(1, svc)
+	d := sys.NewObjectOn(0, drv)
+	sys.Send(d, kick)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hi" {
+		t.Fatalf("echo = %q, want hi", got)
+	}
+	if sys.Elapsed() == 0 {
+		t.Error("elapsed must advance")
+	}
+	if sys.Packets() == 0 {
+		t.Error("cross-node run must produce packets")
+	}
+	if sys.TotalInstructions() == 0 {
+		t.Error("instructions must be accounted")
+	}
+	if sys.InstrTime(25) != 2300 {
+		t.Errorf("InstrTime(25) = %v, want 2.3µs", sys.InstrTime(25))
+	}
+}
+
+func TestStockDepthConfig(t *testing.T) {
+	sys := abcl.MustNewSystem(abcl.Config{Nodes: 2, StockDepth: -1})
+	if sys.Net.StockDepth() != 0 {
+		t.Errorf("StockDepth -1 should disable the stock, got %d", sys.Net.StockDepth())
+	}
+	sys2 := abcl.MustNewSystem(abcl.Config{Nodes: 2})
+	if sys2.Net.StockDepth() != 2 {
+		t.Errorf("default stock depth = %d, want 2", sys2.Net.StockDepth())
+	}
+	sys3 := abcl.MustNewSystem(abcl.Config{Nodes: 2, StockDepth: 5})
+	if sys3.Net.StockDepth() != 5 {
+		t.Errorf("explicit stock depth = %d, want 5", sys3.Net.StockDepth())
+	}
+}
+
+func TestPolicyConstants(t *testing.T) {
+	if abcl.StackBased.String() != "stack" || abcl.Naive.String() != "naive" {
+		t.Error("policy constants mis-exported")
+	}
+}
+
+func TestPlacementExports(t *testing.T) {
+	for _, p := range []abcl.Placement{
+		abcl.PlaceRoundRobin, abcl.PlaceRandom, abcl.PlaceLocal,
+		abcl.PlaceLoadBased, abcl.PlaceDepthLocal,
+	} {
+		if p.Name() == "" {
+			t.Error("placement must have a name")
+		}
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	if abcl.Int(3).Int() != 3 {
+		t.Error("Int")
+	}
+	if !abcl.Bool(true).Bool() {
+		t.Error("Bool")
+	}
+	if abcl.Float(1.5).Float() != 1.5 {
+		t.Error("Float")
+	}
+	if abcl.Str("x").Str() != "x" {
+		t.Error("Str")
+	}
+	if abcl.Any([]int{1}).Any().([]int)[0] != 1 {
+		t.Error("Any")
+	}
+}
+
+func TestCustomMachineConfig(t *testing.T) {
+	cfg := machine.DefaultConfig(8)
+	cfg.ClockMHz = 50 // a faster processor: everything halves
+	sys := abcl.MustNewSystem(abcl.Config{Nodes: 8, Machine: &cfg})
+	if got := sys.InstrTime(25); got != 1150 {
+		t.Errorf("InstrTime at 50MHz = %v, want 1.15µs", got)
+	}
+}
+
+func TestTracing(t *testing.T) {
+	sys := abcl.MustNewSystem(abcl.Config{Nodes: 1, TraceCapacity: 256})
+	ping := sys.Pattern("ping", 1)
+	cls := sys.Class("cls", 0, nil)
+	cls.Method(ping, func(ctx *abcl.Ctx) {
+		if n := ctx.Arg(0).Int(); n > 0 {
+			ctx.SendPast(ctx.Self(), ping, abcl.Int(n-1))
+		}
+	})
+	o := sys.NewObjectOn(0, cls)
+	sys.Send(o, ping, abcl.Int(10))
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Trace == nil || sys.Trace.Len() == 0 {
+		t.Fatal("tracing enabled but no events recorded")
+	}
+	var sends, scheds, dispatches int
+	for _, e := range sys.Trace.Events() {
+		switch e.Kind.String() {
+		case "send":
+			sends++
+		case "schedule":
+			scheds++
+		case "dispatch":
+			dispatches++
+		}
+	}
+	if sends == 0 || scheds == 0 || dispatches == 0 {
+		t.Errorf("trace kinds missing: sends=%d scheds=%d dispatches=%d",
+			sends, scheds, dispatches)
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	sys := abcl.MustNewSystem(abcl.Config{Nodes: 1})
+	if sys.Trace != nil {
+		t.Fatal("trace ring allocated without TraceCapacity")
+	}
+}
+
+func TestSystemMigrate(t *testing.T) {
+	sys := abcl.MustNewSystem(abcl.Config{Nodes: 2})
+	inc := sys.Pattern("inc", 0)
+	cls := sys.Class("cls", 1, func(ic *abcl.InitCtx) { ic.SetState(0, abcl.Int(0)) })
+	cls.Method(inc, func(ctx *abcl.Ctx) {
+		ctx.SetState(0, abcl.Int(ctx.State(0).Int()+1))
+	})
+	obj := sys.NewObjectOn(0, cls)
+	var moved abcl.Address
+	if err := sys.Migrate(obj, 1, func(a abcl.Address) { moved = a }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if moved.IsNil() || moved.Node != 1 {
+		t.Fatalf("migrated to %v, want node 1", moved)
+	}
+	sys.Send(obj, inc) // stale address: forwarded
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := moved.Obj.State(0).Int(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	if sys.Stats().Forwards == 0 {
+		t.Error("forwarding not recorded")
+	}
+}

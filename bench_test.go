@@ -1,0 +1,431 @@
+// Benchmark harness: one benchmark per table and figure of the paper, plus
+// ablations of the design decisions called out in DESIGN.md. Each benchmark
+// runs the corresponding experiment on the simulator and reports the
+// *virtual-time* quantity the paper reports as a custom metric
+// (virtual-µs/op, speedup, …); wall-clock ns/op measures simulator speed,
+// not the paper's metric.
+//
+//	go test -bench=. -benchmem
+package abcl_test
+
+import (
+	"fmt"
+	"testing"
+
+	abcl "repro"
+	"repro/internal/apps/diffusion"
+	"repro/internal/apps/misc"
+	"repro/internal/apps/nqueens"
+	"repro/internal/apps/pingpong"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// --- Table 1: costs of basic operations ---------------------------------
+
+func BenchmarkTable1_IntraNodeDormant(b *testing.B) {
+	var per float64
+	for i := 0; i < b.N; i++ {
+		res, err := pingpong.PastLocal(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		per = res.PerOp.Micros()
+	}
+	b.ReportMetric(per, "virtual-µs/msg")
+}
+
+func BenchmarkTable1_IntraNodeActive(b *testing.B) {
+	var per float64
+	for i := 0; i < b.N; i++ {
+		res, err := pingpong.PastLocalActive(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		per = res.PerOp.Micros()
+	}
+	b.ReportMetric(per, "virtual-µs/msg")
+}
+
+func BenchmarkTable1_IntraNodeCreation(b *testing.B) {
+	var per float64
+	for i := 0; i < b.N; i++ {
+		res, err := pingpong.CreateLocal(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		per = res.PerOp.Micros()
+	}
+	b.ReportMetric(per, "virtual-µs/create")
+}
+
+func BenchmarkTable1_InterNodeMessage(b *testing.B) {
+	var per float64
+	for i := 0; i < b.N; i++ {
+		res, err := pingpong.PastRemote(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		per = res.PerOp.Micros()
+	}
+	b.ReportMetric(per, "virtual-µs/msg")
+}
+
+// --- Table 2: dormant-path instruction breakdown -------------------------
+
+func BenchmarkTable2_Breakdown(b *testing.B) {
+	cost := machine.DefaultCost()
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = cost.DormantPath()
+	}
+	if total != 25 {
+		b.Fatalf("dormant path = %d instructions, want 25", total)
+	}
+	b.ReportMetric(float64(total), "instructions")
+}
+
+// --- Table 3: send/reply latency -----------------------------------------
+
+func BenchmarkTable3_SendReply(b *testing.B) {
+	var per float64
+	for i := 0; i < b.N; i++ {
+		res, err := pingpong.NowRemote(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		per = res.PerOp.Micros()
+	}
+	b.ReportMetric(per, "virtual-µs/rtt")
+	b.ReportMetric(per*25, "cycles/rtt") // 25MHz clock
+}
+
+// --- Table 4: scale of the N-queens program ------------------------------
+
+func BenchmarkTable4_NQueensScale(b *testing.B) {
+	var res nqueens.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = nqueens.Run(nqueens.Options{N: 8, Nodes: 64, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.Solutions != 92 || res.Objects != 2056 {
+		b.Fatalf("N=8: solutions=%d objects=%d, want 92/2056", res.Solutions, res.Objects)
+	}
+	b.ReportMetric(float64(res.Objects), "objects")
+	b.ReportMetric(float64(res.Messages), "messages")
+	b.ReportMetric(float64(res.MemoryBytes)/1024, "modelled-KB")
+}
+
+// --- Figure 5: speedup vs processors --------------------------------------
+
+func BenchmarkFigure5_Speedup(b *testing.B) {
+	const n = 10
+	seq := nqueens.Sequential(n, machine.DefaultConfig(1), 0)
+	for _, procs := range []int{1, 16, 64, 256, 512} {
+		b.Run(fmt.Sprintf("N%d_P%d", n, procs), func(b *testing.B) {
+			var sp, util float64
+			for i := 0; i < b.N; i++ {
+				res, err := nqueens.Run(nqueens.Options{N: n, Nodes: procs, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp = float64(seq.Elapsed) / float64(res.Elapsed)
+				util = res.Utilization
+			}
+			b.ReportMetric(sp, "speedup")
+			b.ReportMetric(util, "utilization")
+		})
+	}
+}
+
+// --- Figure 6: stack-based vs naive scheduling ----------------------------
+
+func BenchmarkFigure6_StackVsNaive(b *testing.B) {
+	const n, procs = 9, 512
+	for _, pol := range []abcl.Policy{abcl.StackBased, abcl.Naive} {
+		b.Run(fmt.Sprintf("N%d_%s", n, pol), func(b *testing.B) {
+			var ms, dormant float64
+			for i := 0; i < b.N; i++ {
+				res, err := nqueens.Run(nqueens.Options{N: n, Nodes: procs, Seed: 1, Policy: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms = res.Elapsed.Millis()
+				dormant = res.Stats.DormantFraction()
+			}
+			b.ReportMetric(ms, "virtual-ms")
+			b.ReportMetric(dormant, "dormant-fraction")
+		})
+	}
+}
+
+// --- Ablations -------------------------------------------------------------
+
+// Chunk-stock prefetch vs blocking round-trip creation (Section 5.2).
+func BenchmarkAblation_ChunkStock(b *testing.B) {
+	for _, depth := range []int{-1, 1, 2, 4} {
+		name := fmt.Sprintf("stock%d", depth)
+		if depth < 0 {
+			name = "disabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ms float64
+			var misses uint64
+			for i := 0; i < b.N; i++ {
+				res, err := nqueens.Run(nqueens.Options{N: 9, Nodes: 64, Seed: 1, StockDepth: depth})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms = res.Elapsed.Millis()
+				misses = res.Stats.StockMisses
+			}
+			b.ReportMetric(ms, "virtual-ms")
+			b.ReportMetric(float64(misses), "stock-misses")
+		})
+	}
+}
+
+// Placement policies for remote creation (Section 2.5's locality control).
+func BenchmarkAblation_Placement(b *testing.B) {
+	for _, p := range []abcl.Placement{
+		abcl.PlaceRandom, abcl.PlaceRoundRobin, abcl.PlaceLoadBased, abcl.PlaceDepthLocal,
+	} {
+		b.Run(p.Name(), func(b *testing.B) {
+			var ms, util float64
+			for i := 0; i < b.N; i++ {
+				res, err := nqueens.Run(nqueens.Options{N: 9, Nodes: 64, Seed: 1, Placement: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms = res.Elapsed.Millis()
+				util = res.Utilization
+			}
+			b.ReportMetric(ms, "virtual-ms")
+			b.ReportMetric(util, "utilization")
+		})
+	}
+}
+
+// Preemption bound: how deep stack-based chaining may grow before the
+// scheduler preempts to the queue (Section 4.3).
+func BenchmarkAblation_MaxStackDepth(b *testing.B) {
+	for _, d := range []int{2, 8, 64, 512} {
+		b.Run(fmt.Sprintf("depth%d", d), func(b *testing.B) {
+			var ms float64
+			var preempts uint64
+			for i := 0; i < b.N; i++ {
+				res, err := nqueens.Run(nqueens.Options{N: 9, Nodes: 16, Seed: 1, MaxDepth: d})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms = res.Elapsed.Millis()
+				preempts = res.Stats.Preemptions
+			}
+			b.ReportMetric(ms, "virtual-ms")
+			b.ReportMetric(float64(preempts), "preemptions")
+		})
+	}
+}
+
+// Interconnect topology: routing distance vs the software-dominated costs.
+func BenchmarkAblation_Topology(b *testing.B) {
+	topos := []struct {
+		name string
+		topo machine.Topology
+	}{
+		{"torus", machine.SquarishTorus(64)},
+		{"mesh", machine.Mesh2D{W: 8, H: 8}},
+		{"hypercube", machine.Hypercube{}},
+		{"full", machine.FullyConnected{}},
+	}
+	for _, tc := range topos {
+		b.Run(tc.name, func(b *testing.B) {
+			var ms float64
+			for i := 0; i < b.N; i++ {
+				cfg := machine.DefaultConfig(64)
+				cfg.Topology = tc.topo
+				sys, err := abcl.NewSystem(abcl.Config{Nodes: 64, Machine: &cfg, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				d := nqueens.Build(sys, 9, 0)
+				d.Start()
+				if err := sys.Run(); err != nil {
+					b.Fatal(err)
+				}
+				res, err := d.Result()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms = res.Elapsed.Millis()
+			}
+			b.ReportMetric(ms, "virtual-ms")
+		})
+	}
+}
+
+// Fork-join with now-type joins: the blocking/resume machinery under load.
+func BenchmarkForkJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		leaves, err := misc.RunForkJoin(10, 16, abcl.StackBased)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if leaves != 1024 {
+			b.Fatalf("leaves = %d", leaves)
+		}
+	}
+}
+
+// Simulator throughput: how many simulated messages per wall-clock second
+// the DES processes (engineering metric, not a paper figure).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var msgs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := nqueens.Run(nqueens.Options{N: 9, Nodes: 64, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.Messages
+	}
+	b.ReportMetric(float64(msgs), "simulated-msgs/op")
+}
+
+// Arrival notification: polling (AP1000/CM-5 style) vs interrupt
+// (nCUBE/2/iPSC/2 style), Section 5. Polling taxes every method epilogue;
+// interrupts tax every received packet.
+func BenchmarkAblation_NotifyMode(b *testing.B) {
+	for _, mode := range []machine.NotifyMode{machine.NotifyPolling, machine.NotifyInterrupt} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var ms float64
+			for i := 0; i < b.N; i++ {
+				cfg := machine.DefaultConfig(64)
+				cfg.Notify = mode
+				sys, err := abcl.NewSystem(abcl.Config{Nodes: 64, Machine: &cfg, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				d := nqueens.Build(sys, 9, 0)
+				d.Start()
+				if err := sys.Run(); err != nil {
+					b.Fatal(err)
+				}
+				res, err := d.Result()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms = res.Elapsed.Millis()
+			}
+			b.ReportMetric(ms, "virtual-ms")
+		})
+	}
+}
+
+// The compile-time send optimizations of Section 6.1: the dormant-path
+// overhead ladder from 25 instructions down to 8.
+func BenchmarkAblation_SendHints(b *testing.B) {
+	run := func(b *testing.B, hints core.SendHint) {
+		var per float64
+		for i := 0; i < b.N; i++ {
+			sys, err := abcl.NewSystem(abcl.Config{Nodes: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ping := sys.Pattern("ping", 0)
+			kick := sys.Pattern("kick", 0)
+			null := sys.Class("null", 0, nil)
+			null.Method(ping, func(ctx *abcl.Ctx) {})
+			var target abcl.Address
+			var start, end abcl.Time
+			drv := sys.Class("drv", 0, nil)
+			drv.Method(kick, func(ctx *abcl.Ctx) {
+				start = ctx.Now()
+				for j := 0; j < 1000; j++ {
+					ctx.SendPastHinted(target, ping, hints)
+				}
+				end = ctx.Now()
+			})
+			target = sys.NewObjectOn(0, null)
+			d := sys.NewObjectOn(0, drv)
+			sys.Send(d, kick)
+			if err := sys.Run(); err != nil {
+				b.Fatal(err)
+			}
+			per = (end - start).Micros() / 1000
+		}
+		b.ReportMetric(per, "virtual-µs/msg")
+	}
+	b.Run("none", func(b *testing.B) { run(b, 0) })
+	b.Run("known-local", func(b *testing.B) { run(b, core.HintKnownLocal) })
+	b.Run("leaf", func(b *testing.B) { run(b, core.HintLeafMethod) })
+	b.Run("full", func(b *testing.B) { run(b, core.HintFullyOptimized) })
+}
+
+// Diffusion stencil: a join-heavy nearest-neighbour workload, the opposite
+// communication pattern to N-queens (2% dormant fraction vs ~80%). Compares
+// block placement (torus locality) against scatter.
+func BenchmarkDiffusion(b *testing.B) {
+	for _, blockPlace := range []bool{true, false} {
+		name := "scatter"
+		if blockPlace {
+			name = "block"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ms, util float64
+			for i := 0; i < b.N; i++ {
+				res, err := diffusion.Run(diffusion.Options{
+					W: 16, H: 16, Iters: 10, Nodes: 16, BlockPlace: blockPlace,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms = res.Elapsed.Millis()
+				util = res.Utilization
+			}
+			b.ReportMetric(ms, "virtual-ms")
+			b.ReportMetric(util, "utilization")
+		})
+	}
+}
+
+// Object migration service: cost of moving an object and of sending through
+// its forwarder afterwards.
+func BenchmarkMigrationForwarding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := abcl.NewSystem(abcl.Config{Nodes: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inc := sys.Pattern("inc", 0)
+		kick := sys.Pattern("kick", 0)
+		counter := sys.Class("counter", 1, func(ic *abcl.InitCtx) { ic.SetState(0, abcl.Int(0)) })
+		counter.Method(inc, func(ctx *abcl.Ctx) {
+			ctx.SetState(0, abcl.Int(ctx.State(0).Int()+1))
+		})
+		target := sys.NewObjectOn(0, counter)
+		drv := sys.Class("drv", 0, nil)
+		drv.Method(kick, func(ctx *abcl.Ctx) {
+			for j := 0; j < 100; j++ {
+				ctx.SendPast(target, inc)
+			}
+		})
+		d := sys.NewObjectOn(1, drv)
+		sys.RT.Freeze()
+		if err := sys.Net.Migrate(target.Obj, 2, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+		sys.Send(d, kick)
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if got := sys.Stats().Forwards; got != 100 {
+			b.Fatalf("forwards = %d, want 100", got)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Command abclsim runs an ABCL workload on the simulated multicomputer and
+// reports virtual-time performance and runtime statistics.
+//
+//	abclsim -workload nqueens -n 11 -nodes 512
+//	abclsim -workload nqueens -n 10 -nodes 64 -policy naive
+//	abclsim -workload pingpong -nodes 2
+//	abclsim -workload forkjoin -depth 12 -nodes 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	abcl "repro"
+	"repro/internal/apps/diffusion"
+	"repro/internal/apps/misc"
+	"repro/internal/apps/nqueens"
+	"repro/internal/apps/pingpong"
+	"repro/internal/machine"
+)
+
+var (
+	workload  = flag.String("workload", "nqueens", "workload: nqueens | pingpong | forkjoin | diffusion")
+	n         = flag.Int("n", 10, "N-queens board size")
+	depth     = flag.Int("depth", 10, "fork-join tree depth")
+	grid      = flag.Int("grid", 16, "diffusion grid edge length")
+	gridIters = flag.Int("grid-iters", 10, "diffusion iterations")
+	block     = flag.Bool("block", true, "diffusion: block placement (vs scatter)")
+	nodes     = flag.Int("nodes", 64, "number of processing nodes")
+	policy    = flag.String("policy", "stack", "scheduling policy: stack | naive")
+	placement = flag.String("placement", "random", "placement: random | rr | local | load | depth")
+	seed      = flag.Int64("seed", 1, "random placement seed")
+	stock     = flag.Int("stock", 2, "chunk-stock depth (-1 disables)")
+	iters     = flag.Int("iters", 1000, "ping-pong iterations")
+	traceN    = flag.Int("trace", 0, "dump the last N runtime trace events")
+)
+
+func main() {
+	flag.Parse()
+	var err error
+	switch *workload {
+	case "nqueens":
+		err = runNQueens()
+	case "pingpong":
+		err = runPingPong()
+	case "forkjoin":
+		err = runForkJoin()
+	case "diffusion":
+		err = runDiffusion()
+	default:
+		err = fmt.Errorf("unknown workload %q", *workload)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abclsim:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePolicy() abcl.Policy {
+	if *policy == "naive" {
+		return abcl.Naive
+	}
+	return abcl.StackBased
+}
+
+func parsePlacement() abcl.Placement {
+	switch *placement {
+	case "rr":
+		return abcl.PlaceRoundRobin
+	case "local":
+		return abcl.PlaceLocal
+	case "load":
+		return abcl.PlaceLoadBased
+	case "depth":
+		return abcl.PlaceDepthLocal
+	default:
+		return abcl.PlaceRandom
+	}
+}
+
+func runNQueens() error {
+	seq := nqueens.Sequential(*n, machine.DefaultConfig(1), 0)
+	sys, err := abcl.NewSystem(abcl.Config{
+		Nodes: *nodes, Policy: parsePolicy(), Placement: parsePlacement(),
+		Seed: *seed, StockDepth: *stock, TraceCapacity: *traceN,
+	})
+	if err != nil {
+		return err
+	}
+	drv := nqueens.Build(sys, *n, 0)
+	drv.Start()
+	if err := sys.Run(); err != nil {
+		return err
+	}
+	res, err := drv.Result()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("N-queens N=%d on %d nodes (%s scheduling, %s placement)\n",
+		*n, *nodes, parsePolicy(), parsePlacement().Name())
+	fmt.Printf("  solutions        %d (expected %d)\n", res.Solutions, seq.Solutions)
+	fmt.Printf("  objects created  %d\n", res.Objects)
+	fmt.Printf("  messages         %d\n", res.Messages)
+	fmt.Printf("  elapsed          %v (sequential %v)\n", res.Elapsed, seq.Elapsed)
+	fmt.Printf("  speedup          %.1fx on %d nodes\n",
+		float64(seq.Elapsed)/float64(res.Elapsed), *nodes)
+	fmt.Printf("  utilization      %.1f%%\n", 100*res.Utilization)
+	fmt.Printf("  memory model     %.0f KB\n", float64(res.MemoryBytes)/1024)
+	printStats(res.Stats)
+	if sys.Trace != nil {
+		fmt.Printf("  last %d trace events:\n", sys.Trace.Len())
+		if err := sys.Trace.Dump(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runPingPong() error {
+	d, err := pingpong.PastLocal(*iters)
+	if err != nil {
+		return err
+	}
+	a, err := pingpong.PastLocalActive(*iters)
+	if err != nil {
+		return err
+	}
+	c, err := pingpong.CreateLocal(*iters)
+	if err != nil {
+		return err
+	}
+	r, err := pingpong.PastRemote(*iters)
+	if err != nil {
+		return err
+	}
+	w, err := pingpong.NowRemote(*iters / 10)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ping-pong microbenchmarks (%d iterations)\n", *iters)
+	fmt.Printf("  intra-node past to dormant   %v/op\n", d.PerOp)
+	fmt.Printf("  intra-node past to active    %v/op\n", a.PerOp)
+	fmt.Printf("  intra-node creation          %v/op\n", c.PerOp)
+	fmt.Printf("  inter-node past (one-way)    %v/op\n", r.PerOp)
+	fmt.Printf("  inter-node now (round trip)  %v/op\n", w.PerOp)
+	return nil
+}
+
+func runForkJoin() error {
+	leaves, err := misc.RunForkJoin(*depth, *nodes, parsePolicy())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fork-join depth=%d on %d nodes: %d leaves (expected %d)\n",
+		*depth, *nodes, leaves, int64(1)<<uint(*depth))
+	return nil
+}
+
+func runDiffusion() error {
+	res, err := diffusion.Run(diffusion.Options{
+		W: *grid, H: *grid, Iters: *gridIters, Nodes: *nodes,
+		Policy: parsePolicy(), BlockPlace: *block,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("diffusion %dx%d, %d iterations on %d nodes (%s placement)\n",
+		*grid, *grid, *gridIters, *nodes, map[bool]string{true: "block", false: "scatter"}[*block])
+	fmt.Printf("  elapsed       %v\n", res.Elapsed)
+	fmt.Printf("  utilization   %.1f%%\n", 100*res.Utilization)
+	fmt.Printf("  residual      %.6g (sequential: %.6g)\n",
+		res.Residual, diffusion.SequentialResidual(*grid, *grid, *gridIters))
+	printStats(res.Stats)
+	return nil
+}
+
+func printStats(c abcl.Counters) {
+	fmt.Println("  runtime counters:")
+	fmt.Printf("    local msgs: dormant=%d active=%d restores=%d (dormant fraction %.0f%%)\n",
+		c.LocalToDormant, c.LocalToActive, c.LocalRestores, 100*c.DormantFraction())
+	fmt.Printf("    remote msgs: %d   creations: local=%d remote=%d\n",
+		c.RemoteSends, c.LocalCreations, c.RemoteCreations)
+	fmt.Printf("    chunk stock: hits=%d misses=%d   fault-buffered=%d\n",
+		c.StockHits, c.StockMisses, c.FaultBuffered)
+	fmt.Printf("    scheduling queue: enq=%d deq=%d   preemptions=%d heap frames=%d\n",
+		c.SchedEnqueues, c.SchedDequeues, c.Preemptions, c.HeapFrames)
+}

@@ -1,0 +1,122 @@
+// Command tables regenerates Tables 1-4 of the paper from the simulator.
+//
+//	tables            # all tables
+//	tables -table 1   # one table
+//	tables -big=false # omit the N=13 column of Table 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/machine"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to print (1-4); 0 prints all")
+	big := flag.Bool("big", true, "include the N=13 column of Table 4")
+	iters := flag.Int("iters", 1000, "iterations for latency measurements")
+	flag.Parse()
+
+	switch *table {
+	case 0:
+		table1(*iters)
+		fmt.Println()
+		table2()
+		fmt.Println()
+		table3(*iters)
+		fmt.Println()
+		table4(*big)
+	case 1:
+		table1(*iters)
+	case 2:
+		table2()
+	case 3:
+		table3(*iters)
+	case 4:
+		table4(*big)
+	default:
+		fmt.Fprintf(os.Stderr, "tables: unknown table %d\n", *table)
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func table1(iters int) {
+	rows, err := exp.Table1(iters)
+	check(err)
+	fmt.Println("Table 1: Costs of basic operations")
+	fmt.Println("----------------------------------------------------------------")
+	fmt.Printf("%-38s %10s %10s\n", "Operation", "Paper(µs)", "Sim(µs)")
+	for _, r := range rows {
+		fmt.Printf("%-38s %10.1f %10.2f\n", r.Name, r.PaperUs, r.SimUs)
+	}
+}
+
+func table2() {
+	cfg := machine.DefaultConfig(1)
+	fmt.Println("Table 2: Breakdown of intra-node message to dormant object")
+	fmt.Println("----------------------------------------------------------------")
+	fmt.Printf("%-38s %6s %6s\n", "Step", "Paper", "Sim")
+	rows := exp.Table2()
+	for _, r := range rows[:len(rows)-1] {
+		fmt.Printf("%-38s %6d %6d\n", r.Name, r.Paper, r.Sim)
+	}
+	total := rows[len(rows)-1]
+	fmt.Printf("%-38s %6d %6d   (= %.1fµs at %vMHz, CPI %.1f)\n",
+		total.Name, total.Paper, total.Sim,
+		cfg.InstrTime(total.Sim).Micros(), cfg.ClockMHz, cfg.CPI)
+}
+
+func table3(iters int) {
+	rows, err := exp.Table3(iters / 10)
+	check(err)
+	fmt.Println("Table 3: Comparison of send/reply latency")
+	fmt.Println("----------------------------------------------------------------------")
+	fmt.Printf("%-24s %8s %14s %8s %12s\n", "System", "Instr", "Real Time(µs)", "Cycles", "Clock (MHz)")
+	for _, r := range rows {
+		fmt.Printf("%-24s %8d %14.1f %8.0f %12.1f   (%s)\n",
+			r.System, r.Instr, r.TimeUs, r.Cycles, r.ClockMHz, r.Source)
+	}
+}
+
+func table4(big bool) {
+	ns := []int{8}
+	if big {
+		ns = append(ns, 13)
+	}
+	cols := exp.Table4(ns)
+	fmt.Println("Table 4: The scale of the N-queen program")
+	fmt.Println("----------------------------------------------------------------------")
+	fmt.Printf("%-28s", "")
+	for _, c := range cols {
+		fmt.Printf(" %14s", fmt.Sprintf("N = %d", c.N))
+	}
+	fmt.Println()
+	prow := func(name string, f func(exp.Table4Col) string) {
+		fmt.Printf("%-28s", name)
+		for _, c := range cols {
+			fmt.Printf(" %14s", f(c))
+		}
+		fmt.Println()
+	}
+	prow("# of Solutions", func(c exp.Table4Col) string { return fmt.Sprintf("%d", c.Solutions) })
+	prow("# of Objects Creation", func(c exp.Table4Col) string { return fmt.Sprintf("%d", c.Objects) })
+	prow("# of Messages", func(c exp.Table4Col) string { return fmt.Sprintf("%d", c.Messages) })
+	prow("Total Memory Used (KB)", func(c exp.Table4Col) string { return fmt.Sprintf("%.0f", c.MemKB) })
+	prow("Elapsed Time (sequential)", func(c exp.Table4Col) string {
+		return fmt.Sprintf("%.0f ms", c.SeqElapsed.Millis())
+	})
+	fmt.Println()
+	fmt.Println("Paper's values: N=8: 92 solutions, 2,056 creations, 4,104 messages,")
+	fmt.Println("130KB, 84ms on SS1+; N=13: 73,712 solutions, ~4.67M creations,")
+	fmt.Println("9,349,765 messages, 549,463KB, 461,955ms on SS1+.")
+}

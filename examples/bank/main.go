@@ -1,0 +1,110 @@
+// Note: lines print in simulation-event order; the t= stamps give the
+// virtual-time order.
+//
+// A bank-account service demonstrating now-type (RPC-style) messaging,
+// selective message reception, and reply-destination delegation — the
+// ABCL idioms of Sections 2.2 and 4.3.
+//
+// The account object processes deposits and withdrawals one at a time (a
+// concurrent object has a single thread of control, so no locks are
+// needed). A withdrawal that exceeds the balance *selectively waits* for
+// further deposits instead of failing: the object switches to waiting mode
+// and non-awaited messages buffer in its message queue. An auditor object
+// shows reply delegation: it forwards balance queries to the account with
+// the original caller's reply destination.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	abcl "repro"
+)
+
+const (
+	stBalance = 0
+)
+
+func main() {
+	sys, err := abcl.NewSystem(abcl.Config{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	deposit := sys.Pattern("deposit", 1)   // past type
+	withdraw := sys.Pattern("withdraw", 1) // now type: replies new balance
+	balance := sys.Pattern("balance", 0)   // now type
+
+	account := sys.Class("account", 1, func(ic *abcl.InitCtx) {
+		ic.SetState(stBalance, ic.CtorArg(0))
+	})
+	account.Method(deposit, func(ctx *abcl.Ctx) {
+		ctx.SetState(stBalance, abcl.Int(ctx.State(stBalance).Int()+ctx.Arg(0).Int()))
+	})
+	var tryWithdraw func(ctx *abcl.Ctx, amount int64)
+	tryWithdraw = func(ctx *abcl.Ctx, amount int64) {
+		bal := ctx.State(stBalance).Int()
+		if bal >= amount {
+			ctx.SetState(stBalance, abcl.Int(bal-amount))
+			ctx.Reply(abcl.Int(bal - amount))
+			return
+		}
+		// Insufficient funds: wait selectively for the next deposit, then
+		// retry. Other withdrawals buffer in the message queue meanwhile.
+		fmt.Printf("  [t=%8v account]   withdrawal of %d waits (balance %d)\n", ctx.Now(), amount, bal)
+		ctx.WaitFor(func(ctx *abcl.Ctx, f *abcl.Frame) {
+			ctx.SetState(stBalance, abcl.Int(ctx.State(stBalance).Int()+f.Arg(0).Int()))
+			tryWithdraw(ctx, amount)
+		}, deposit)
+	}
+	account.Method(withdraw, func(ctx *abcl.Ctx) {
+		tryWithdraw(ctx, ctx.Arg(0).Int())
+	})
+	account.Method(balance, func(ctx *abcl.Ctx) {
+		ctx.Reply(ctx.State(stBalance))
+	})
+
+	// The auditor forwards balance queries, delegating the reply: the
+	// account's answer goes straight to the original asker.
+	audit := sys.Pattern("audit", 1) // audit account-ref (now type)
+	auditor := sys.Class("auditor", 0, nil)
+	auditor.Method(audit, func(ctx *abcl.Ctx) {
+		ctx.SendWithReply(ctx.Arg(0).Ref(), balance, nil, ctx.ReplyTo())
+	})
+
+	// Drive the scenario from a customer object.
+	kick := sys.Pattern("kick", 0)
+	var acct, aud abcl.Address
+	customer := sys.Class("customer", 0, nil)
+	customer.Method(kick, func(ctx *abcl.Ctx) {
+		ctx.SendNow(acct, withdraw, []abcl.Value{abcl.Int(150)}, func(ctx *abcl.Ctx, v abcl.Value) {
+			fmt.Printf("  [t=%8v customer]  withdrew 150, balance now %d\n", ctx.Now(), v.Int())
+			ctx.SendNow(aud, audit, []abcl.Value{abcl.Ref(acct)}, func(ctx *abcl.Ctx, v abcl.Value) {
+				fmt.Printf("  [t=%8v customer]  audited balance: %d\n", ctx.Now(), v.Int())
+			})
+		})
+	})
+	// A depositor on another node funds the account after a delay, waking
+	// the blocked withdrawal.
+	fund := sys.Pattern("fund", 0)
+	depositor := sys.Class("depositor", 0, nil)
+	depositor.Method(fund, func(ctx *abcl.Ctx) {
+		ctx.Charge(100_000) // ~9ms of other work first
+		fmt.Printf("  [t=%8v depositor] depositing 200\n", ctx.Now())
+		ctx.SendPast(acct, deposit, abcl.Int(200))
+	})
+
+	acct = sys.NewObjectOn(0, account, abcl.Int(100)) // opening balance 100
+	aud = sys.NewObjectOn(1, auditor)
+	cust := sys.NewObjectOn(2, customer)
+	dep := sys.NewObjectOn(3, depositor)
+	sys.Send(cust, kick)
+	sys.Send(dep, fund)
+
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done at t=%v (final balance %d)\n", sys.Elapsed(), acct.Obj.State(stBalance).Int())
+}

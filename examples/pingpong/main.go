@@ -1,0 +1,45 @@
+// Latency microbenchmarks (Table 1 of the paper): intra-node sends to
+// dormant and active objects, local creation, and the minimum inter-node
+// message latency measured exactly as the paper does — two objects bouncing
+// one-word past-type messages between adjacent nodes.
+//
+//	go run ./examples/pingpong
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/pingpong"
+)
+
+func main() {
+	const iters = 10000
+
+	d, err := pingpong.PastLocal(iters)
+	fatal(err)
+	a, err := pingpong.PastLocalActive(iters)
+	fatal(err)
+	c, err := pingpong.CreateLocal(iters)
+	fatal(err)
+	r, err := pingpong.PastRemote(iters)
+	fatal(err)
+	w, err := pingpong.NowRemote(iters / 10)
+	fatal(err)
+
+	fmt.Println("operation                        per-op     paper")
+	fmt.Printf("intra-node past (dormant)    %10v     2.3µs\n", d.PerOp)
+	fmt.Printf("intra-node past (active)     %10v     9.6µs\n", a.PerOp)
+	fmt.Printf("intra-node creation          %10v     2.1µs\n", c.PerOp)
+	fmt.Printf("inter-node past (one-way)    %10v     8.9µs\n", r.PerOp)
+	fmt.Printf("inter-node now (round trip)  %10v    17.8µs\n", w.PerOp)
+	fmt.Println("\nThe dormant path is the paper's headline: stack-based scheduling")
+	fmt.Println("makes an asynchronous object invocation cost ~25 instructions —")
+	fmt.Println("about 4x cheaper than the buffered (active) path.")
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

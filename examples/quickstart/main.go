@@ -1,0 +1,65 @@
+// Quickstart: define a class, create objects across nodes, and exchange
+// past- and now-type messages on the simulated multicomputer.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	abcl "repro"
+)
+
+func main() {
+	// A 4-node AP1000-flavoured machine with default scheduling (the
+	// paper's integrated stack/queue scheduler).
+	sys, err := abcl.NewSystem(abcl.Config{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Message patterns are registered up front (the paper assigns each
+	// pattern a unique number at compile time).
+	greet := sys.Pattern("greet", 1)   // greet name     (past type)
+	howMany := sys.Pattern("count", 0) // count          (now type)
+
+	// A greeter counts how many greetings it has handled.
+	greeter := sys.Class("greeter", 1, func(ic *abcl.InitCtx) {
+		ic.SetState(0, abcl.Int(0))
+	})
+	greeter.Method(greet, func(ctx *abcl.Ctx) {
+		fmt.Printf("[node %d, t=%v] hello, %s!\n", ctx.NodeID(), ctx.Now(), ctx.Arg(0).Str())
+		ctx.SetState(0, abcl.Int(ctx.State(0).Int()+1))
+	})
+	greeter.Method(howMany, func(ctx *abcl.Ctx) {
+		ctx.Reply(ctx.State(0))
+	})
+
+	// A driver object sends greetings (past type: asynchronous, no wait),
+	// then asks for the count (now type: waits for the reply).
+	kick := sys.Pattern("kick", 0)
+	var target abcl.Address
+	driver := sys.Class("driver", 0, nil)
+	driver.Method(kick, func(ctx *abcl.Ctx) {
+		ctx.SendPast(target, greet, abcl.Str("AP1000"))
+		ctx.SendPast(target, greet, abcl.Str("PPOPP'93"))
+		ctx.SendNow(target, howMany, nil, func(ctx *abcl.Ctx, v abcl.Value) {
+			fmt.Printf("[node %d, t=%v] greeter handled %d greetings\n",
+				ctx.NodeID(), ctx.Now(), v.Int())
+		})
+	})
+
+	// The greeter lives on node 3, the driver on node 0: all interaction is
+	// inter-node message passing.
+	target = sys.NewObjectOn(3, greeter)
+	d := sys.NewObjectOn(0, driver)
+	sys.Send(d, kick)
+
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Stats()
+	fmt.Printf("\nfinished at t=%v: %d remote messages, %d local, utilization %.0f%%\n",
+		sys.Elapsed(), st.RemoteSends, st.LocalMessages(), 100*sys.Utilization())
+}

@@ -1,0 +1,146 @@
+// Package misc provides small concurrent-object workloads used by tests,
+// examples and ablation benchmarks: a counter service, a bounded buffer
+// built on selective message reception, and a fork-join computation tree.
+package misc
+
+import (
+	"fmt"
+
+	abcl "repro"
+)
+
+// BuildCounter registers a counter class on sys: it understands
+// "ctr.inc" (past), "ctr.add n" (past) and "ctr.get" (now, replies the
+// current value).
+func BuildCounter(sys *abcl.System) (cls *abcl.Class, inc, add, get abcl.Pattern) {
+	inc = sys.Pattern("ctr.inc", 0)
+	add = sys.Pattern("ctr.add", 1)
+	get = sys.Pattern("ctr.get", 0)
+	cls = sys.Class("ctr.counter", 1, func(ic *abcl.InitCtx) {
+		ic.SetState(0, abcl.Int(0))
+	})
+	cls.Method(inc, func(ctx *abcl.Ctx) {
+		ctx.SetState(0, abcl.Int(ctx.State(0).Int()+1))
+	})
+	cls.Method(add, func(ctx *abcl.Ctx) {
+		ctx.SetState(0, abcl.Int(ctx.State(0).Int()+ctx.Arg(0).Int()))
+	})
+	cls.Method(get, func(ctx *abcl.Ctx) {
+		ctx.Reply(ctx.State(0))
+	})
+	return cls, inc, add, get
+}
+
+// BoundedBuffer is a classic ABCL example: a producer/consumer cell
+// implemented with selective message reception. The buffer has capacity 1;
+// "bb.put v" stores when empty, "bb.take" replies and empties. When full,
+// the buffer *waits* selectively for a take; when empty, for a put — the
+// other pattern buffers in its message queue meanwhile.
+type BoundedBuffer struct {
+	Cls  *abcl.Class
+	Put  abcl.Pattern
+	Take abcl.Pattern
+}
+
+// BuildBoundedBuffer registers the bounded-buffer class on sys.
+func BuildBoundedBuffer(sys *abcl.System) *BoundedBuffer {
+	b := &BoundedBuffer{
+		Put:  sys.Pattern("bb.put", 1),
+		Take: sys.Pattern("bb.take", 0),
+	}
+	b.Cls = sys.Class("bb.buffer", 1, nil)
+	// A put stores the value, then selectively waits for the matching take
+	// before accepting the next put (capacity 1). Further puts buffer in
+	// the message queue, preserving order.
+	b.Cls.Method(b.Put, func(ctx *abcl.Ctx) {
+		v := ctx.Arg(0)
+		ctx.SetState(0, v)
+		ctx.WaitFor(func(ctx *abcl.Ctx, f *abcl.Frame) {
+			// f is the take message: reply the stored value to its reply
+			// destination (take is sent as a now-type message).
+			ctx.SendWithReply(f.ReplyTo, replyPattern(sys), []abcl.Value{ctx.State(0)}, abcl.Address{})
+		}, b.Take)
+	})
+	// A take arriving while empty (dormant mode) waits for a put... but the
+	// dormant-mode method only runs when no put is pending; in that case we
+	// wait for the next put and then reply.
+	b.Cls.Method(b.Take, func(ctx *abcl.Ctx) {
+		rd := ctx.ReplyTo()
+		ctx.WaitFor(func(ctx *abcl.Ctx, f *abcl.Frame) {
+			ctx.SendWithReply(rd, replyPattern(sys), []abcl.Value{f.Arg(0)}, abcl.Address{})
+		}, b.Put)
+	})
+	return b
+}
+
+// replyPattern returns the runtime's reserved reply pattern.
+func replyPattern(sys *abcl.System) abcl.Pattern { return sys.RT.PatReply }
+
+// ForkJoin is a binary computation tree: fj.compute(depth) forks two
+// children (created via the placement policy) until depth 0, then results
+// join back with now-type replies. It exercises remote creation, now-type
+// blocking and termination purely through replies.
+type ForkJoin struct {
+	Cls     *abcl.Class
+	Compute abcl.Pattern
+}
+
+// BuildForkJoin registers the fork-join class.
+func BuildForkJoin(sys *abcl.System) *ForkJoin {
+	fj := &ForkJoin{Compute: sys.Pattern("fj.compute", 1)}
+	fj.Cls = sys.Class("fj.node", 0, nil)
+	fj.Cls.Method(fj.Compute, func(ctx *abcl.Ctx) {
+		depth := ctx.Arg(0).Int()
+		ctx.Charge(20) // leaf/body work
+		if depth == 0 {
+			ctx.Reply(abcl.Int(1))
+			return
+		}
+		ctx.Create(fj.Cls, nil, func(ctx *abcl.Ctx, left abcl.Address) {
+			ctx.Create(fj.Cls, nil, func(ctx *abcl.Ctx, right abcl.Address) {
+				ctx.SendNow(left, fj.Compute, []abcl.Value{abcl.Int(depth - 1)}, func(ctx *abcl.Ctx, lv abcl.Value) {
+					ctx.SendNow(right, fj.Compute, []abcl.Value{abcl.Int(depth - 1)}, func(ctx *abcl.Ctx, rv abcl.Value) {
+						ctx.Reply(abcl.Int(lv.Int() + rv.Int()))
+					})
+				})
+			})
+		})
+	})
+	return fj
+}
+
+// RunForkJoin builds a system, runs a fork-join tree of the given depth on
+// the given node count, and returns the leaf count (must be 2^depth).
+func RunForkJoin(depth, nodes int, policy abcl.Policy) (int64, error) {
+	sys, err := abcl.NewSystem(abcl.Config{Nodes: nodes, Policy: policy})
+	if err != nil {
+		return 0, err
+	}
+	fj := BuildForkJoin(sys)
+
+	done := sys.Pattern("fj.done", 1)
+	var result int64 = -1
+	sink := sys.Class("fj.sink", 0, nil)
+	sink.Method(done, func(ctx *abcl.Ctx) { result = ctx.Arg(0).Int() })
+
+	kick := sys.Pattern("fj.kick", 1)
+	var root, sinkAddr abcl.Address
+	drv := sys.Class("fj.drv", 0, nil)
+	drv.Method(kick, func(ctx *abcl.Ctx) {
+		ctx.SendNow(root, fj.Compute, []abcl.Value{ctx.Arg(0)}, func(ctx *abcl.Ctx, v abcl.Value) {
+			ctx.SendPast(sinkAddr, done, v)
+		})
+	})
+
+	root = sys.NewObjectOn(0, fj.Cls)
+	sinkAddr = sys.NewObjectOn(0, sink)
+	d := sys.NewObjectOn(0, drv)
+	sys.Send(d, kick, abcl.Int(int64(depth)))
+	if err := sys.Run(); err != nil {
+		return 0, err
+	}
+	if result < 0 {
+		return 0, fmt.Errorf("misc: fork-join did not complete")
+	}
+	return result, nil
+}

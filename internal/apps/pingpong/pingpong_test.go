@@ -1,0 +1,86 @@
+package pingpong
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPastLocalMatchesTable1(t *testing.T) {
+	res, err := PastLocal(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: 2.3µs per intra-node message to a dormant object.
+	if res.PerOp != 2300*sim.Nanosecond {
+		t.Errorf("per-op = %v, want exactly 2.3µs", res.PerOp)
+	}
+}
+
+func TestPastLocalActiveMatchesTable1(t *testing.T) {
+	res, err := PastLocalActive(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: ~9.6µs per intra-node message to an active object (the full
+	// buffer + schedule + dispatch path).
+	if res.PerOp < 9*sim.Microsecond || res.PerOp > 11*sim.Microsecond {
+		t.Errorf("per-op = %v, want ~9.6µs", res.PerOp)
+	}
+}
+
+func TestActiveOverDormantRatio(t *testing.T) {
+	// The paper: the active path costs "over 4 times" the dormant path.
+	d, err := PastLocal(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PastLocalActive(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(a.PerOp) / float64(d.PerOp)
+	if ratio < 4 {
+		t.Errorf("active/dormant ratio = %.2f, want > 4", ratio)
+	}
+}
+
+func TestCreateLocalMatchesTable1(t *testing.T) {
+	res, err := CreateLocal(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: ~2.1µs per intra-node creation.
+	if res.PerOp < 2000*sim.Nanosecond || res.PerOp > 2200*sim.Nanosecond {
+		t.Errorf("per-op = %v, want ~2.1µs", res.PerOp)
+	}
+}
+
+func TestPastRemoteMatchesTable1(t *testing.T) {
+	res, err := PastRemote(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: ~8.9µs minimum inter-node one-way latency.
+	if res.PerOp < 8500*sim.Nanosecond || res.PerOp > 9300*sim.Nanosecond {
+		t.Errorf("per-op = %v, want ~8.9µs", res.PerOp)
+	}
+}
+
+func TestNowRemoteMatchesTable3(t *testing.T) {
+	res, err := NowRemote(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 3: ~17.8µs send/reply latency (we expect a close but not exact
+	// figure; see EXPERIMENTS.md).
+	if res.PerOp < 16*sim.Microsecond || res.PerOp > 21*sim.Microsecond {
+		t.Errorf("per-op = %v, want ~17.8µs", res.PerOp)
+	}
+}
+
+func TestInvalidIterations(t *testing.T) {
+	if _, err := PastLocal(0); err == nil {
+		t.Error("0 iterations must error")
+	}
+}

@@ -1,0 +1,136 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/parexec"
+	"repro/internal/remote"
+)
+
+// runDES executes the program on the discrete-event simulator.
+func runDES(t *testing.T, p *Program, policy core.Policy) Expected {
+	t.Helper()
+	p.Reset()
+	m, err := machine.New(machine.DefaultConfig(p.Nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.NewRuntime(m, core.Options{Policy: policy})
+	remote.Attach(rt, remote.Options{StockDepth: 2, Placement: remote.RoundRobin{}, Seed: 1})
+	inject := p.Build(rt)
+	inject()
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return p.Observe(rt)
+}
+
+// runPar executes the program on the goroutine-per-node driver.
+func runPar(t *testing.T, p *Program) Expected {
+	t.Helper()
+	p.Reset()
+	ex := parexec.New(p.Nodes, core.Options{})
+	inject := p.Build(ex.RT)
+	inject()
+	if _, err := ex.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return p.Observe(ex.RT)
+}
+
+const seeds = 25
+
+func TestStackVsNaiveEquivalence(t *testing.T) {
+	// The two scheduling policies must produce identical observable results
+	// for every generated program: same accumulated sums, same creations,
+	// same message counts — only timing may differ.
+	for seed := int64(1); seed <= seeds; seed++ {
+		nodes := 1 + int(seed)%7
+		st := runDES(t, Generate(seed, nodes), core.PolicyStackBased)
+		nv := runDES(t, Generate(seed, nodes), core.PolicyNaive)
+		if st != nv {
+			t.Errorf("seed %d (%d nodes): stack %+v != naive %+v", seed, nodes, st, nv)
+		}
+		if st.Sum == 0 || st.Messages == 0 {
+			t.Errorf("seed %d: degenerate program (sum=%d msgs=%d)", seed, st.Sum, st.Messages)
+		}
+	}
+}
+
+func TestDESDeterminism(t *testing.T) {
+	// Two DES runs of the same program are bit-identical in every counter.
+	for seed := int64(1); seed <= seeds; seed++ {
+		nodes := 2 + int(seed)%6
+		a := runDES(t, Generate(seed, nodes), core.PolicyStackBased)
+		b := runDES(t, Generate(seed, nodes), core.PolicyStackBased)
+		if a != b {
+			t.Errorf("seed %d: nondeterministic: %+v vs %+v", seed, a, b)
+		}
+	}
+}
+
+func TestDESVsParallelEquivalence(t *testing.T) {
+	// The discrete-event simulation and the real-parallel engine must agree
+	// on sums and creations. Message counts can differ slightly between
+	// engines only in that... they must not: the same sends happen either
+	// way, so we compare everything.
+	for seed := int64(1); seed <= seeds; seed++ {
+		nodes := 2 + int(seed)%4
+		des := runDES(t, Generate(seed, nodes), core.PolicyStackBased)
+		par := runPar(t, Generate(seed, nodes))
+		if des.Sum != par.Sum {
+			t.Errorf("seed %d: DES sum %d != parallel sum %d", seed, des.Sum, par.Sum)
+		}
+		if des.Creations != par.Creations {
+			t.Errorf("seed %d: DES creations %d != parallel %d", seed, des.Creations, par.Creations)
+		}
+		if des.Messages != par.Messages {
+			t.Errorf("seed %d: DES messages %d != parallel %d", seed, des.Messages, par.Messages)
+		}
+	}
+}
+
+func TestSingleNodeMatchesMultiNode(t *testing.T) {
+	// The program's functional outcome is placement independent: running
+	// everything on one node gives the same sums as spreading over many.
+	for seed := int64(1); seed <= 10; seed++ {
+		one := runDES(t, Generate(seed, 1), core.PolicyStackBased)
+		many := runDES(t, Generate(seed, 8), core.PolicyStackBased)
+		if one.Sum != many.Sum {
+			t.Errorf("seed %d: 1-node sum %d != 8-node sum %d", seed, one.Sum, many.Sum)
+		}
+		if one.Creations != many.Creations {
+			t.Errorf("seed %d: creations differ: %d vs %d", seed, one.Creations, many.Creations)
+		}
+	}
+}
+
+func TestStockDepthIsFunctionallyInvisible(t *testing.T) {
+	// Chunk-stock depth changes latency, never results.
+	run := func(seed int64, depth int) Expected {
+		p := Generate(seed, 6)
+		p.Reset()
+		m, err := machine.New(machine.DefaultConfig(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := core.NewRuntime(m, core.Options{})
+		remote.Attach(rt, remote.Options{StockDepth: depth, Placement: remote.RoundRobin{}, Seed: 1})
+		inject := p.Build(rt)
+		inject()
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return p.Observe(rt)
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		with := run(seed, 3)
+		without := run(seed, 0)
+		if with.Sum != without.Sum || with.Creations != without.Creations {
+			t.Errorf("seed %d: stock changed results: %+v vs %+v", seed, with, without)
+		}
+	}
+}

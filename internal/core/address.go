@@ -1,0 +1,33 @@
+package core
+
+import "fmt"
+
+// Address is the mail address of a concurrent object, uniformly represented
+// as a (processor number, real pointer) pair exactly as in Section 5.2 of
+// the paper. This representation gives maximum-speed local access and avoids
+// export-table management; the restriction it implies (objects cannot be
+// moved freely) is the paper's too.
+//
+// The Obj pointer must only be dereferenced by code running on the owning
+// node; all cross-node interaction goes through packets.
+type Address struct {
+	Node int
+	Obj  *Object
+}
+
+// NilAddress is the null mail address.
+var NilAddress Address
+
+// IsNil reports whether the address refers to no object.
+func (a Address) IsNil() bool { return a.Obj == nil }
+
+func (a Address) String() string {
+	if a.Obj == nil {
+		return "addr(nil)"
+	}
+	name := "?"
+	if a.Obj.class != nil {
+		name = a.Obj.class.Name
+	}
+	return fmt.Sprintf("addr(n%d:%s@%p)", a.Node, name, a.Obj)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// hintHarness builds a runtime with a null leaf method and a driver that
+// sends one hinted message, returning the virtual time of that send.
+func hintSendCost(t *testing.T, hints SendHint) sim.Time {
+	t.Helper()
+	r := newTestRT(t, Options{})
+	ping := r.Reg.Register("ping", 0)
+	null := r.DefineClass("null", 0, nil)
+	null.Method(ping, func(ctx *Ctx) {})
+	target := r.NewObjectOn(0, null)
+	r.Freeze()
+
+	n := r.NodeRT(0)
+	before := n.node.Now()
+	n.sendHinted(target, ping, nil, NilAddress, hints)
+	return n.node.Now() - before
+}
+
+func TestHintCostLadder(t *testing.T) {
+	// Section 6.1: "the overhead of an intra-node message to dormant
+	// objects varies from 8 to 25 instructions" depending on which
+	// compile-time optimizations apply.
+	cases := []struct {
+		hints SendHint
+		instr int
+	}{
+		{0, 25},
+		{HintKnownLocal, 22},
+		{HintNoPoll, 20},
+		{HintNoQueueCheck, 22},
+		{HintLeafMethod, 19}, // both VFTP switches elided
+		{HintKnownLocal | HintNoPoll, 17},
+		{HintFullyOptimized, 8}, // lookup+call 5 + return 3
+	}
+	for _, c := range cases {
+		want := sim.Time(c.instr) * 92 // 92ns per instruction at 25MHz/2.3
+		if got := hintSendCost(t, c.hints); got != want {
+			t.Errorf("hints %04b: cost = %v, want %v (%d instructions)",
+				c.hints, got, want, c.instr)
+		}
+	}
+}
+
+func TestHintFullyOptimizedMatchesVirtualCall(t *testing.T) {
+	// The paper: with all checks elided the cost is "truly comparable with
+	// virtual function call in C++" — 8 instructions.
+	if got := hintSendCost(t, HintFullyOptimized); got != 8*92 {
+		t.Fatalf("fully optimized send = %v, want 736ns", got)
+	}
+}
+
+func TestHintKnownLocalViolationPanics(t *testing.T) {
+	m, err := machine.New(machine.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRuntime(m, Options{})
+	ping := r.Reg.Register("ping", 0)
+	null := r.DefineClass("null", 0, nil)
+	null.Method(ping, func(ctx *Ctx) {})
+	remoteObj := r.NewObjectOn(1, null)
+	r.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected HintKnownLocal violation panic")
+		}
+	}()
+	r.NodeRT(0).sendHinted(remoteObj, ping, nil, NilAddress, HintKnownLocal)
+}
+
+func TestHintLeafMethodViolationPanics(t *testing.T) {
+	r := newTestRT(t, Options{})
+	ping := r.Reg.Register("ping", 0)
+	leafy := r.DefineClass("leafy", 0, nil)
+	var self Address
+	leafy.Method(ping, func(ctx *Ctx) {
+		ctx.SendPast(self, ping) // sends: the leaf hint is a lie
+	})
+	self = r.NewObjectOn(0, leafy)
+	r.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected HintLeafMethod violation panic")
+		}
+	}()
+	r.NodeRT(0).sendHinted(self, ping, nil, NilAddress, HintLeafMethod)
+}
+
+func TestHintedSendStillCorrect(t *testing.T) {
+	// Semantics are unchanged by hints: state updates land, ordering holds.
+	r := newTestRT(t, Options{})
+	add := r.Reg.Register("add", 1)
+	kick := r.Reg.Register("kick", 0)
+	acc := r.DefineClass("acc", 1, func(ic *InitCtx) { ic.SetState(0, IntV(0)) })
+	acc.Method(add, func(ctx *Ctx) {
+		ctx.SetState(0, IntV(ctx.State(0).Int()+ctx.Arg(0).Int()))
+	})
+	var target Address
+	drv := r.DefineClass("drv", 0, nil)
+	drv.Method(kick, func(ctx *Ctx) {
+		for i := int64(1); i <= 10; i++ {
+			ctx.SendPastHinted(target, add, HintKnownLocal|HintNoPoll, IntV(i))
+		}
+	})
+	target = r.NewObjectOn(0, acc)
+	d := r.NewObjectOn(0, drv)
+	r.Inject(d, kick)
+	run(t, r)
+	if got := target.Obj.State(0).Int(); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestHintLeafAllowsCharge(t *testing.T) {
+	// Pure computation (Charge) is allowed in a leaf method.
+	r := newTestRT(t, Options{})
+	work := r.Reg.Register("work", 0)
+	leafy := r.DefineClass("leafy", 0, nil)
+	leafy.Method(work, func(ctx *Ctx) { ctx.Charge(100) })
+	target := r.NewObjectOn(0, leafy)
+	r.Freeze()
+	r.NodeRT(0).sendHinted(target, work, nil, NilAddress, HintLeafMethod)
+}
+
+func TestHintsUnderNaivePolicy(t *testing.T) {
+	// Hints compose with the naive scheduler: the message still buffers and
+	// dispatches through the queue, and the leaf validation still fires at
+	// invocation time.
+	r := newTestRT(t, Options{Policy: PolicyNaive})
+	add := r.Reg.Register("add", 1)
+	kick := r.Reg.Register("kick", 0)
+	acc := r.DefineClass("acc", 1, func(ic *InitCtx) { ic.SetState(0, IntV(0)) })
+	acc.Method(add, func(ctx *Ctx) {
+		ctx.SetState(0, IntV(ctx.State(0).Int()+ctx.Arg(0).Int()))
+	})
+	var target Address
+	drv := r.DefineClass("drv", 0, nil)
+	drv.Method(kick, func(ctx *Ctx) {
+		ctx.SendPastHinted(target, add, HintKnownLocal|HintLeafMethod, IntV(21))
+		ctx.SendPastHinted(target, add, HintFullyOptimized, IntV(21))
+	})
+	target = r.NewObjectOn(0, acc)
+	d := r.NewObjectOn(0, drv)
+	r.Inject(d, kick)
+	run(t, r)
+	if got := target.Obj.State(0).Int(); got != 42 {
+		t.Fatalf("sum = %d, want 42", got)
+	}
+}
+
+func TestHintLeafViolationByBlockPanics(t *testing.T) {
+	r := newTestRT(t, Options{})
+	wait := r.Reg.Register("wait", 0)
+	other := r.Reg.Register("other", 0)
+	cls := r.DefineClass("cls", 0, nil)
+	cls.Method(wait, func(ctx *Ctx) {
+		ctx.WaitFor(func(ctx *Ctx, f *Frame) {}, other)
+	})
+	o := r.NewObjectOn(0, cls)
+	r.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("blocking in a leaf-hinted method must panic")
+		}
+	}()
+	r.NodeRT(0).sendHinted(o, wait, nil, NilAddress, HintLeafMethod)
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Policy selects the intra-node scheduling strategy.
+type Policy uint8
+
+const (
+	// PolicyStackBased is the paper's integrated stack/queue scheduler
+	// (Section 4.1): messages to dormant objects run immediately on the
+	// sender's stack; only messages to non-dormant objects are buffered.
+	PolicyStackBased Policy = iota
+	// PolicyNaive is the baseline of Section 6.3: every message is buffered
+	// in the receiver's message queue and the receiver is scheduled through
+	// the node scheduling queue.
+	PolicyNaive
+)
+
+func (p Policy) String() string {
+	if p == PolicyNaive {
+		return "naive"
+	}
+	return "stack"
+}
+
+// Remote is the hook the inter-node layer (package remote) installs into the
+// core runtime. The core calls SendMessage when a locality check fails and
+// Create for placement-policy-driven object creation.
+type Remote interface {
+	// SendMessage transmits a message to an object on another node.
+	SendMessage(n *NodeRT, to Address, p PatternID, args []Value, replyTo Address)
+	// Create creates an object on a node chosen by the placement policy and
+	// passes its mail address to k. The fast path (chunk stock hit) calls k
+	// immediately on the caller's stack; the slow path blocks the calling
+	// object until a chunk arrives.
+	Create(ctx *Ctx, cl *Class, ctorArgs []Value, k func(*Ctx, Address))
+}
+
+// Options configures a Runtime.
+type Options struct {
+	Policy Policy
+	// MaxStackDepth bounds nested stack-based invocations; beyond it the
+	// runtime preempts to the scheduling queue (the paper's preemption on
+	// deep recursion). Zero means the default of 64.
+	MaxStackDepth int
+	// Trace, when non-nil, receives runtime events (sends, invocations,
+	// blocks, scheduling). Supported on the discrete-event engine only; the
+	// ring is not safe for concurrent nodes.
+	Trace *trace.Ring
+}
+
+// Runtime is the ABCL language runtime spanning all nodes of a machine.
+type Runtime struct {
+	M   *machine.Machine
+	Reg *Registry
+
+	nodes   []*NodeRT
+	classes []*Class
+
+	policy        Policy
+	maxStackDepth int
+	remote        Remote
+	frozen        bool
+
+	// PatReply is the reserved pattern carrying now-type replies.
+	PatReply PatternID
+
+	// pending holds objects created before freeze, awaiting their tables.
+	pending []*Object
+
+	replyVFT   *VFT // native table for reply destination objects
+	faultVFT   *VFT // generic fault table for uninitialized chunks
+	forwardVFT *VFT // forwarder table for migrated objects
+}
+
+// NewRuntime builds a runtime over the discrete-event machine m. Classes
+// and patterns must be defined before the first Run (which freezes the
+// runtime).
+func NewRuntime(m *machine.Machine, opt Options) *Runtime {
+	nodes := make([]ExecNode, m.Nodes())
+	for i := range nodes {
+		nodes[i] = m.Node(i)
+	}
+	r := NewRuntimeOn(nodes, &m.Cfg.Cost, opt)
+	r.M = m
+	for i := range nodes {
+		m.Node(i).Runner = r.nodes[i]
+	}
+	return r
+}
+
+// NewRuntimeOn builds a runtime over custom execution nodes (used by the
+// real-parallel driver). The caller is responsible for driving each NodeRT's
+// Step loop; Run is unavailable on such runtimes.
+func NewRuntimeOn(nodes []ExecNode, cost *machine.Cost, opt Options) *Runtime {
+	if opt.MaxStackDepth <= 0 {
+		opt.MaxStackDepth = 64
+	}
+	r := &Runtime{
+		Reg:           NewRegistry(),
+		policy:        opt.Policy,
+		maxStackDepth: opt.MaxStackDepth,
+		remote:        defaultRemote{},
+	}
+	r.PatReply = r.Reg.Register("reply:", 1)
+	r.nodes = make([]*NodeRT, len(nodes))
+	for i := range r.nodes {
+		r.nodes[i] = &NodeRT{rt: r, id: i, node: nodes[i], cost: cost, tr: opt.Trace}
+	}
+	return r
+}
+
+// DefineClass registers a new class. stateSize is the number of state
+// variables; init (optional) is the lazy initializer run on first message.
+func (r *Runtime) DefineClass(name string, stateSize int, init InitFunc) *Class {
+	if r.frozen {
+		panic(fmt.Sprintf("core: class %s defined after freeze", name))
+	}
+	if stateSize < 0 {
+		panic(fmt.Sprintf("core: class %s has negative state size", name))
+	}
+	c := &Class{
+		Name:      name,
+		StateSize: stateSize,
+		Init:      init,
+		rt:        r,
+		defs:      make(map[PatternID]MethodFunc),
+	}
+	r.classes = append(r.classes, c)
+	return c
+}
+
+// SetRemote installs the inter-node layer. Must be called before freeze.
+func (r *Runtime) SetRemote(rem Remote) {
+	if r.frozen {
+		panic("core: SetRemote after freeze")
+	}
+	r.remote = rem
+}
+
+// RemoteLayer returns the installed remote layer.
+func (r *Runtime) RemoteLayer() Remote { return r.remote }
+
+// Policy returns the active scheduling policy.
+func (r *Runtime) Policy() Policy { return r.policy }
+
+// MaxStackDepth returns the preemption depth bound.
+func (r *Runtime) MaxStackDepth() int { return r.maxStackDepth }
+
+// Freeze fixes the pattern set and generates all virtual function tables
+// (the runtime's analogue of compilation). Idempotent.
+func (r *Runtime) Freeze() {
+	if r.frozen {
+		return
+	}
+	r.frozen = true
+	r.Reg.Freeze()
+	npat := r.Reg.Count()
+	for _, c := range r.classes {
+		c.buildTables(npat)
+	}
+	// Native table for reply destinations: only reply: is understood.
+	r.replyVFT = &VFT{Mode: ModeDormant, entries: make([]entry, npat)}
+	r.replyVFT.entries[r.PatReply] = entry{entryNative, replyEntry}
+	// The class-independent generic fault table (Section 5.2): every entry
+	// is a queuing procedure, forcing messages to uninitialized objects to
+	// be buffered.
+	r.faultVFT = &VFT{Mode: ModeUninit, entries: make([]entry, npat)}
+	for p := range r.faultVFT.entries {
+		r.faultVFT.entries[p] = entry{entryFault, faultEntry}
+	}
+	// Forwarder table for migrated objects: every entry re-sends to the
+	// object's new home.
+	r.forwardVFT = &VFT{Mode: ModeDormant, entries: make([]entry, npat)}
+	for p := range r.forwardVFT.entries {
+		r.forwardVFT.entries[p] = entry{entryForward, forwardEntry}
+	}
+	// Objects created during setup get their tables now.
+	for _, obj := range r.pending {
+		assignInitialVFT(obj)
+	}
+	r.pending = nil
+}
+
+// assignInitialVFT points a fresh object at its class's initial table.
+func assignInitialVFT(obj *Object) {
+	if obj.class.Init != nil {
+		obj.vftp = obj.class.initTable
+	} else {
+		obj.vftp = obj.class.dormant
+	}
+}
+
+// Frozen reports whether Freeze has run.
+func (r *Runtime) Frozen() bool { return r.frozen }
+
+// NodeRT returns the per-node runtime for node id.
+func (r *Runtime) NodeRT(id int) *NodeRT { return r.nodes[id] }
+
+// Nodes returns the node count.
+func (r *Runtime) Nodes() int { return len(r.nodes) }
+
+// Run freezes the runtime and drives the machine to quiescence.
+func (r *Runtime) Run() error {
+	r.Freeze()
+	return r.M.Run()
+}
+
+// TotalStats aggregates counters across all nodes.
+func (r *Runtime) TotalStats() stats.Counters {
+	var t stats.Counters
+	for _, n := range r.nodes {
+		t.Add(&n.C)
+	}
+	return t
+}
+
+// newObject allocates an object of class cl on node. The object starts in
+// need-init mode when the class has an initializer, dormant otherwise.
+// Before freeze the table pointer is deferred (tables do not exist yet);
+// Freeze fills it in.
+func (r *Runtime) newObject(cl *Class, node int, ctorArgs []Value) *Object {
+	obj := &Object{class: cl, node: node, ctorArgs: ctorArgs}
+	if cl.StateSize > 0 {
+		obj.state = make([]Value, cl.StateSize)
+	}
+	if r.frozen {
+		assignInitialVFT(obj)
+	} else {
+		r.pending = append(r.pending, obj)
+	}
+	return obj
+}
+
+// NewObjectOn creates an object on a node from outside any method — the
+// host-side bootstrap used to set up a computation. Unlike Ctx.Create it
+// does not model creation-protocol costs beyond the local creation charge.
+func (r *Runtime) NewObjectOn(node int, cl *Class, ctorArgs ...Value) Address {
+	n := r.nodes[node]
+	n.charge(n.cost.CreateLocal)
+	n.C.LocalCreations++
+	return r.newObject(cl, node, ctorArgs).Addr()
+}
+
+// NewFaultChunk allocates an uninitialized chunk on a node: class-less, with
+// the generic fault table installed, ready to buffer early messages. Used by
+// the remote-creation protocol.
+func (r *Runtime) NewFaultChunk(node int) *Object {
+	r.Freeze()
+	return &Object{node: node, vftp: r.faultVFT}
+}
+
+// InitChunk performs the class-specific initialization of a chunk on the
+// target node (category-2 handler body): the chunk gets its class, state and
+// proper virtual function table, and is scheduled if early messages were
+// buffered by the fault table.
+func (r *Runtime) InitChunk(n *NodeRT, obj *Object, cl *Class, ctorArgs []Value) {
+	if obj.node != n.id {
+		panic("core: InitChunk on wrong node")
+	}
+	if obj.class != nil {
+		panic("core: InitChunk on already-initialized object")
+	}
+	obj.class = cl
+	obj.ctorArgs = ctorArgs
+	if cl.StateSize > 0 {
+		obj.state = make([]Value, cl.StateSize)
+	}
+	if cl.Init != nil {
+		obj.vftp = cl.initTable
+	} else {
+		obj.vftp = cl.dormant
+	}
+	if !obj.queue.empty() {
+		n.enqueueSched(obj)
+	}
+}
+
+// Inject delivers a message from outside the object world (the host driver).
+// The message is buffered and scheduled rather than stack-invoked, since
+// there is no sending object. The runtime is frozen on first use.
+func (r *Runtime) Inject(to Address, p PatternID, args ...Value) {
+	r.Freeze()
+	if to.IsNil() {
+		panic("core: Inject to nil address")
+	}
+	n := r.nodes[to.Node]
+	f := &Frame{Pattern: p, Args: args}
+	obj := to.Obj
+	e := obj.vftp.lookup(p)
+	if e.fn == nil {
+		panic(n.notUnderstood(obj, p))
+	}
+	obj.queue.push(f)
+	if n.frameDispatchable(obj, e.kind) {
+		n.enqueueSched(obj)
+	}
+	n.node.Wake()
+}
+
+// defaultRemote is installed when no inter-node layer is present: creation
+// is local and remote sends are a configuration error.
+type defaultRemote struct{}
+
+func (defaultRemote) SendMessage(n *NodeRT, to Address, p PatternID, args []Value, replyTo Address) {
+	panic(fmt.Sprintf("core: message to remote node %d but no remote layer installed", to.Node))
+}
+
+func (defaultRemote) Create(ctx *Ctx, cl *Class, ctorArgs []Value, k func(*Ctx, Address)) {
+	k(ctx, ctx.NewLocal(cl, ctorArgs...))
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ExecNode abstracts the processing element a NodeRT runs on: the
+// discrete-event simulator's machine.Node, or a real goroutine-backed node
+// in the parallel execution driver. All methods are called only from the
+// node's own execution context.
+type ExecNode interface {
+	// Charge accounts instr instructions of computation.
+	Charge(instr int)
+	// Wake signals that the node has queued scheduler work.
+	Wake()
+	// Now returns the node's current (virtual or real) time.
+	Now() sim.Time
+}
+
+// NodeRT is the per-node half of the runtime: it owns the node-wide
+// scheduling queue and implements message dispatch for objects on its node.
+// It is the machine.Runner for its node, so the simulator drives it one
+// scheduling quantum at a time.
+type NodeRT struct {
+	rt   *Runtime
+	id   int
+	node ExecNode
+	cost *machine.Cost
+
+	schedQ     schedQueue
+	stackDepth int
+	maxDepth   int // high-water mark, for reports
+	tr         *trace.Ring
+
+	C stats.Counters
+}
+
+// ID returns the node index.
+func (n *NodeRT) ID() int { return n.id }
+
+// MachineNode returns the underlying simulated node; it panics when the
+// runtime is not running on the discrete-event machine.
+func (n *NodeRT) MachineNode() *machine.Node { return n.node.(*machine.Node) }
+
+// Exec returns the underlying execution node.
+func (n *NodeRT) Exec() ExecNode { return n.node }
+
+// Runtime returns the owning runtime.
+func (n *NodeRT) Runtime() *Runtime { return n.rt }
+
+// SchedQueueLen returns the current scheduling-queue length (load metric).
+func (n *NodeRT) SchedQueueLen() int { return n.schedQ.len() }
+
+// MaxObservedDepth returns the deepest stack-based invocation nesting seen.
+func (n *NodeRT) MaxObservedDepth() int { return n.maxDepth }
+
+func (n *NodeRT) charge(instr int) { n.node.Charge(instr) }
+
+// tracef records a runtime event when tracing is enabled. The format
+// arguments are only evaluated with tracing on.
+func (n *NodeRT) tracef(kind trace.Kind, format string, args ...any) {
+	if n.tr != nil {
+		n.tr.Addf(n.node.Now(), n.id, kind, format, args...)
+	}
+}
+
+// describe names an object for trace output.
+func describe(obj *Object) string {
+	if obj == nil {
+		return "<nil>"
+	}
+	if obj.rd != nil {
+		return "replydest"
+	}
+	if obj.class == nil {
+		return "chunk"
+	}
+	return obj.class.Name
+}
+
+// Send performs a full message send: locality check, then either local
+// dispatch through the receiver's virtual function table or hand-off to the
+// inter-node layer (Section 4.2's send path).
+func (n *NodeRT) Send(to Address, p PatternID, args []Value, replyTo Address) {
+	n.sendHinted(to, p, args, replyTo, 0)
+}
+
+// DeliverFrame dispatches a frame addressed to a local object. remoteIn
+// marks frames arriving from the network (category-1 handlers), which are
+// counted separately from intra-node sends.
+func (n *NodeRT) DeliverFrame(obj *Object, f *Frame, remoteIn bool) {
+	if obj.node != n.id {
+		panic(fmt.Sprintf("core: frame for node %d delivered on node %d", obj.node, n.id))
+	}
+	if n.rt.policy == PolicyNaive {
+		n.naiveDeliver(obj, f, remoteIn)
+		return
+	}
+	n.charge(n.cost.LookupCall)
+	e := obj.vftp.lookup(f.Pattern)
+	if e.fn == nil {
+		panic(n.notUnderstood(obj, f.Pattern))
+	}
+	n.countDelivery(e.kind, remoteIn)
+	if n.tr != nil {
+		n.tracef(trace.EvSend, "%s <- %s (%v mode)", describe(obj), n.rt.Reg.Name(f.Pattern), obj.vftp.Mode)
+	}
+	e.fn(n, obj, f)
+}
+
+// naiveDeliver implements the baseline of Section 6.3: the frame is always
+// buffered in the receiver's message queue and the receiver is scheduled
+// through the node scheduling queue when it is dispatchable.
+func (n *NodeRT) naiveDeliver(obj *Object, f *Frame, remoteIn bool) {
+	n.charge(n.cost.LookupCall)
+	e := obj.vftp.lookup(f.Pattern)
+	if e.fn == nil {
+		panic(n.notUnderstood(obj, f.Pattern))
+	}
+	n.countDelivery(e.kind, remoteIn)
+	n.charge(n.cost.FrameAlloc + n.cost.StoreMessage + n.cost.EnqueueMsgQ)
+	obj.queue.push(f)
+	if n.frameDispatchable(obj, e.kind) {
+		n.enqueueSched(obj)
+	}
+}
+
+// countDelivery classifies the delivery for statistics by the entry kind the
+// receiver's current table holds, i.e. by receiver mode.
+func (n *NodeRT) countDelivery(k EntryKind, remoteIn bool) {
+	if remoteIn {
+		n.C.RemoteDelivers++
+		return
+	}
+	switch k {
+	case entryBody, entryInit:
+		n.C.LocalToDormant++
+	case entryQueue:
+		n.C.LocalToActive++
+	case entryRestore:
+		n.C.LocalRestores++
+	case entryFault:
+		// counted by faultEntry
+	case entryNative:
+		// reply deliveries counted by replyEntry
+	}
+}
+
+// frameDispatchable reports whether an object that just buffered a frame
+// whose current-table entry has the given kind should be placed on the
+// scheduling queue. Running objects and objects already scheduled are
+// handled at method end; queue-kind receivers are blocked or parked and are
+// woken by their own resume paths.
+func (n *NodeRT) frameDispatchable(obj *Object, k EntryKind) bool {
+	if obj.running || obj.inSchedQ {
+		return false
+	}
+	switch k {
+	case entryBody, entryInit, entryRestore, entryNative, entryForward:
+		return true
+	default:
+		return false
+	}
+}
+
+func (n *NodeRT) notUnderstood(obj *Object, p PatternID) string {
+	cls := "<uninitialized>"
+	if obj.class != nil {
+		cls = obj.class.Name
+	}
+	return fmt.Sprintf("core: class %s does not understand pattern %s (node %d)",
+		cls, n.rt.Reg.Name(p), n.id)
+}
+
+// Step is the machine.Runner quantum: dequeue one scheduling-queue item and
+// run its continuation — either a saved context or the dispatch of the first
+// buffered message (Section 4.3).
+func (n *NodeRT) Step() bool {
+	obj := n.schedQ.pop()
+	if obj == nil {
+		return false
+	}
+	obj.inSchedQ = false
+	n.charge(n.cost.DequeueDispatch)
+	n.C.SchedDequeues++
+	if n.tr != nil {
+		n.tracef(trace.EvDispatch, "%s", describe(obj))
+	}
+
+	switch {
+	case obj.resumeK != nil:
+		// A preempted or yielded continuation.
+		k, f := obj.resumeK, obj.resumeF
+		obj.resumeK, obj.resumeF = nil, nil
+		n.charge(n.cost.RestoreContext)
+		n.runCont(obj, f, k)
+
+	case obj.wait != nil:
+		// A waiting object scheduled because an awaited message was
+		// buffered (naive policy, or a depth-deferred restoration).
+		ws := obj.wait
+		f := obj.queue.popMatching(ws.awaits)
+		if f == nil {
+			break // parked again; a future awaited arrival reschedules
+		}
+		obj.wait = nil
+		n.charge(n.cost.RestoreContext + n.cost.SwitchVFTPActive)
+		obj.vftp = obj.class.active
+		n.runCont(obj, ws.frame, func(ctx *Ctx) { ws.k(ctx, f) })
+
+	default:
+		f := obj.queue.pop()
+		if f == nil {
+			break // spurious wakeup; nothing to do
+		}
+		e := obj.vftp.lookup(f.Pattern)
+		switch e.kind {
+		case entryQueue:
+			// Parked active object: the scheduling item's continuation
+			// invokes the method body for the buffered message directly.
+			n.invokeBody(obj, f, obj.class.body(f.Pattern))
+		case entryFault:
+			panic("core: uninitialized chunk reached the scheduling queue")
+		case entryNone:
+			panic(n.notUnderstood(obj, f.Pattern))
+		default:
+			e.fn(n, obj, f)
+		}
+	}
+	return !n.schedQ.empty()
+}
+
+// enqueueSched places obj on the node scheduling queue (once) and wakes the
+// node.
+func (n *NodeRT) enqueueSched(obj *Object) {
+	if obj.inSchedQ {
+		return
+	}
+	n.charge(n.cost.EnqueueSchedQ)
+	obj.inSchedQ = true
+	n.schedQ.push(obj)
+	n.C.SchedEnqueues++
+	if n.tr != nil {
+		n.tracef(trace.EvSchedule, "%s (queue %d)", describe(obj), obj.queue.len())
+	}
+	n.node.Wake()
+}
+
+// invokeBody runs a method body on the current stack: the object enters
+// active mode for the duration; at completion the message queue is checked
+// and the object either returns to dormant mode or re-enqueues itself.
+func (n *NodeRT) invokeBody(obj *Object, f *Frame, body MethodFunc) {
+	obj.running = true
+	n.stackDepth++
+	if n.stackDepth > n.maxDepth {
+		n.maxDepth = n.stackDepth
+	}
+	ctx := Ctx{rt: n, self: obj, f: f}
+	body(&ctx)
+	n.stackDepth--
+	obj.running = false
+	h := f.hints
+	if h&HintLeafMethod != 0 && (ctx.acted || ctx.blocked) {
+		panic("core: HintLeafMethod violated: the method sent, created, blocked, or yielded")
+	}
+	if !ctx.blocked {
+		n.methodEndHinted(obj, h)
+	}
+	if h&HintNoPoll == 0 {
+		n.charge(n.cost.PollRemote)
+	}
+	n.charge(n.cost.StackReturn)
+}
+
+// runCont resumes a saved continuation (context restoration): like
+// invokeBody but without the poll/return epilogue of a fresh invocation.
+func (n *NodeRT) runCont(obj *Object, frame *Frame, k func(*Ctx)) {
+	obj.running = true
+	n.stackDepth++
+	if n.stackDepth > n.maxDepth {
+		n.maxDepth = n.stackDepth
+	}
+	ctx := Ctx{rt: n, self: obj, f: frame}
+	k(&ctx)
+	n.stackDepth--
+	obj.running = false
+	if !ctx.blocked {
+		n.methodEnd(obj)
+	}
+	n.charge(n.cost.StackReturn)
+}
+
+// methodEnd implements the paper's method-completion protocol: check the
+// message queue; if empty return to dormant mode, otherwise enqueue the
+// object on the scheduling queue (it stays in active mode so further
+// messages keep buffering).
+func (n *NodeRT) methodEnd(obj *Object) { n.methodEndHinted(obj, 0) }
+
+func (n *NodeRT) methodEndHinted(obj *Object, h SendHint) {
+	if h&HintNoQueueCheck == 0 {
+		n.charge(n.cost.CheckMsgQueue)
+	}
+	if obj.queue.empty() {
+		if h&HintLeafMethod == 0 {
+			n.charge(n.cost.SwitchVFTPDormant)
+		}
+		obj.vftp = obj.class.dormant
+		return
+	}
+	n.enqueueSched(obj)
+}
+
+// makeDormantEntry builds the dormant-table entry for a pattern: the method
+// body itself, invoked immediately on the sender's stack — unless the stack
+// is too deep, in which case the runtime preempts to the scheduling queue.
+func makeDormantEntry(cl *Class, p PatternID) entryFunc {
+	return func(n *NodeRT, obj *Object, f *Frame) {
+		if n.stackDepth >= n.rt.maxStackDepth {
+			n.C.Preemptions++
+			n.charge(n.cost.FrameAlloc + n.cost.StoreMessage + n.cost.EnqueueMsgQ +
+				n.cost.SwitchVFTPActive)
+			obj.vftp = cl.active
+			obj.queue.push(f)
+			n.enqueueSched(obj)
+			return
+		}
+		if f.hints&HintLeafMethod == 0 {
+			n.charge(n.cost.SwitchVFTPActive)
+		}
+		obj.vftp = cl.active
+		n.invokeBody(obj, f, cl.methods[p])
+	}
+}
+
+// queueEntry is the tiny queuing procedure of the active-mode table: it
+// allocates a heap frame, stores the message and links it into the
+// receiver's message queue, then returns to the sender.
+func queueEntry(n *NodeRT, obj *Object, f *Frame) {
+	n.charge(n.cost.FrameAlloc + n.cost.StoreMessage + n.cost.EnqueueMsgQ)
+	obj.queue.push(f)
+}
+
+// faultEntry is the generic fault table's queuing procedure for
+// uninitialized chunks; it works for any class because queuing procedures
+// are class-independent (Section 5.2).
+func faultEntry(n *NodeRT, obj *Object, f *Frame) {
+	n.charge(n.cost.FrameAlloc + n.cost.StoreMessage + n.cost.EnqueueMsgQ +
+		n.cost.FaultEnqueue)
+	n.C.FaultBuffered++
+	obj.queue.push(f)
+}
+
+// makeInitEntry builds the lazy-initialization entry: initialize state
+// variables from the constructor arguments, switch to the dormant table,
+// then invoke the method body for the triggering message.
+func makeInitEntry(cl *Class, p PatternID) entryFunc {
+	return func(n *NodeRT, obj *Object, f *Frame) {
+		n.charge(n.cost.InitObject)
+		if cl.Init != nil {
+			cl.Init(&InitCtx{obj: obj, args: obj.ctorArgs})
+		}
+		obj.ctorArgs = nil
+		obj.vftp = cl.dormant
+		cl.dormant.entries[p].fn(n, obj, f)
+	}
+}
+
+// makeRestoreEntry builds a waiting-table entry for an awaited pattern: it
+// restores the saved context and continues the blocked method with the
+// arrived message.
+func makeRestoreEntry(p PatternID) entryFunc {
+	return func(n *NodeRT, obj *Object, f *Frame) {
+		ws := obj.wait
+		if ws == nil {
+			panic("core: context restoration without wait state")
+		}
+		if n.stackDepth >= n.rt.maxStackDepth {
+			// Defer the restoration through the scheduling queue.
+			n.C.Preemptions++
+			n.charge(n.cost.FrameAlloc + n.cost.StoreMessage + n.cost.EnqueueMsgQ)
+			obj.queue.push(f)
+			n.enqueueSched(obj)
+			return
+		}
+		obj.wait = nil
+		n.charge(n.cost.RestoreContext + n.cost.SwitchVFTPActive)
+		obj.vftp = obj.class.active
+		n.runCont(obj, ws.frame, func(ctx *Ctx) { ws.k(ctx, f) })
+	}
+}

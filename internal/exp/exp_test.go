@@ -1,0 +1,159 @@
+// Reproduction regression suite: asserts that every table and figure stays
+// within its documented distance of the paper's published values (see
+// EXPERIMENTS.md). A change that silently drifts the reproduction fails
+// here.
+package exp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1WithinTolerance(t *testing.T) {
+	rows, err := Table1(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("table 1 has %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		rel := math.Abs(r.SimUs-r.PaperUs) / r.PaperUs
+		if rel > 0.02 {
+			t.Errorf("%s: sim %.2fµs vs paper %.1fµs (%.1f%% off, tolerance 2%%)",
+				r.Name, r.SimUs, r.PaperUs, 100*rel)
+		}
+	}
+}
+
+func TestTable2Exact(t *testing.T) {
+	rows := Table2()
+	for _, r := range rows {
+		if r.Sim != r.Paper {
+			t.Errorf("%s: sim %d vs paper %d instructions", r.Name, r.Sim, r.Paper)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.Name != "Total" || last.Sim != 25 {
+		t.Fatalf("total row wrong: %+v", last)
+	}
+}
+
+func TestTable3WithinTolerance(t *testing.T) {
+	rows, err := Table3(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, paper := rows[0], rows[1]
+	rel := math.Abs(sim.TimeUs-paper.TimeUs) / paper.TimeUs
+	if rel > 0.12 {
+		t.Errorf("send/reply: sim %.1fµs vs paper %.1fµs (%.1f%% off, tolerance 12%%)",
+			sim.TimeUs, paper.TimeUs, 100*rel)
+	}
+	// The paper's qualitative claim: within ~2x of the J-Machine and ~4x of
+	// EM-4 when normalized to cycles.
+	cst, em4 := rows[3], rows[2]
+	if sim.Cycles > 2.5*cst.Cycles {
+		t.Errorf("cycles %f vs CST %f: claim 'about twice' broken", sim.Cycles, cst.Cycles)
+	}
+	if sim.Cycles > 5*em4.Cycles {
+		t.Errorf("cycles %f vs EM4 %f: claim 'about 4 times' broken", sim.Cycles, em4.Cycles)
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	cols := Table4([]int{8, 13})
+	n8, n13 := cols[0], cols[1]
+
+	if n8.Solutions != 92 || n8.Objects != 2056 {
+		t.Errorf("N=8: solutions=%d objects=%d, want 92/2056", n8.Solutions, n8.Objects)
+	}
+	if math.Abs(float64(n8.Messages-4104))/4104 > 0.01 {
+		t.Errorf("N=8 messages = %d, want within 1%% of 4104", n8.Messages)
+	}
+	// Sequential N=8 on the SS1+-class model: 84ms +/- 15%.
+	if ms := n8.SeqElapsed.Millis(); ms < 71 || ms > 97 {
+		t.Errorf("N=8 sequential = %.1fms, want ~84ms", ms)
+	}
+
+	if n13.Solutions != 73712 {
+		t.Errorf("N=13 solutions = %d, want 73712", n13.Solutions)
+	}
+	// Paper: 9,349,765 messages. Ours must be within 0.01%.
+	if math.Abs(float64(n13.Messages-9349765))/9349765 > 1e-4 {
+		t.Errorf("N=13 messages = %d, want within 0.01%% of 9349765", n13.Messages)
+	}
+	// Paper: 549,463KB total memory. Within 1%.
+	if math.Abs(n13.MemKB-549463)/549463 > 0.01 {
+		t.Errorf("N=13 memory = %.0fKB, want within 1%% of 549463KB", n13.MemKB)
+	}
+	// Paper: 461,955ms sequential. Within 8%.
+	if ms := n13.SeqElapsed.Millis(); math.Abs(ms-461955)/461955 > 0.08 {
+		t.Errorf("N=13 sequential = %.0fms, want within 8%% of 461955ms", ms)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	// A compressed sweep preserving the figure's shape claims.
+	pts, err := Figure5([]int{8}, []int{1, 16, 64, 256}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProcs := map[int]SpeedupPoint{}
+	for _, p := range pts {
+		byProcs[p.Procs] = p
+	}
+	// Monotone improvement over the sweep.
+	if !(byProcs[1].Speedup < byProcs[16].Speedup &&
+		byProcs[16].Speedup < byProcs[64].Speedup &&
+		byProcs[64].Speedup < byProcs[256].Speedup) {
+		t.Errorf("speedup not monotone: %+v", pts)
+	}
+	// Paper: ~20x at 64 processors for N=8. Accept 15-35.
+	if s := byProcs[64].Speedup; s < 15 || s > 35 {
+		t.Errorf("N=8 speedup at 64 procs = %.1f, paper reports ~20", s)
+	}
+	// Small problem saturates: efficiency at 256 must be well below ideal.
+	if e := byProcs[256].Speedup / 256; e > 0.5 {
+		t.Errorf("N=8 at 256 procs should saturate, efficiency %.2f", e)
+	}
+}
+
+func TestFigure5LargeProblemEfficiency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	pts, err := Figure5([]int{11}, []int{512}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[0]
+	// The paper reaches 440/512 = 86% for N=13; N=11 (28x smaller) must
+	// still exceed 50% parallel efficiency and 80% machine utilization.
+	if eff := p.Speedup / 512; eff < 0.5 {
+		t.Errorf("N=11 efficiency at 512 procs = %.2f, want > 0.5", eff)
+	}
+	if p.Utilization < 0.8 {
+		t.Errorf("utilization = %.2f, want > 0.8", p.Utilization)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	rows, err := Figure6([]int{9, 10}, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.NaiveMs <= r.StackMs {
+			t.Errorf("N=%d: naive %.1fms not slower than stack %.1fms", r.N, r.NaiveMs, r.StackMs)
+		}
+		// Paper: ~30% speedup; accept 5-60% across sizes and node counts.
+		if r.SpeedupPct < 5 || r.SpeedupPct > 60 {
+			t.Errorf("N=%d: stack-vs-naive speedup %.1f%%, outside plausible band", r.N, r.SpeedupPct)
+		}
+		// Paper: ~75% of local messages to dormant objects; accept 0.6-0.95.
+		if r.DormantFrac < 0.6 || r.DormantFrac > 0.95 {
+			t.Errorf("N=%d: dormant fraction %.2f, paper reports ~0.75", r.N, r.DormantFrac)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NetConfig models hardware message latency. The total hardware latency of
+// one packet is FixedNs + HopNs*hops + NsPerByte*max(0, size-BaseBytes).
+// Defaults reproduce the paper's ~1.5µs per-direction hardware latency for
+// the small (4-word) messages of Section 6.1 on adjacent nodes.
+type NetConfig struct {
+	FixedNs   sim.Time // fixed wire + launch latency per packet
+	HopNs     sim.Time // additional latency per routing hop
+	BaseBytes int      // bytes covered by the fixed latency
+	NsPerByte sim.Time // transfer cost per byte beyond BaseBytes (25MB/s = 40ns/B)
+}
+
+// DefaultNet returns the AP1000-flavoured hardware latency model.
+func DefaultNet() NetConfig {
+	return NetConfig{FixedNs: 1490, HopNs: 10, BaseBytes: 16, NsPerByte: 40}
+}
+
+// Latency returns the hardware delivery latency for a packet of size bytes
+// traversing hops network hops.
+func (nc NetConfig) Latency(hops, size int) sim.Time {
+	l := nc.FixedNs + nc.HopNs*sim.Time(hops)
+	if size > nc.BaseBytes {
+		l += nc.NsPerByte * sim.Time(size-nc.BaseBytes)
+	}
+	return l
+}
+
+// NotifyMode selects how message arrival is signalled to the software
+// (Section 5: "Message arrival may be notified by polling as in CM-5 or
+// AP1000, or by interrupt as in nCUBE/2 or iPSC/2").
+type NotifyMode uint8
+
+const (
+	// NotifyPolling: the runtime polls for arrivals; every method epilogue
+	// pays the PollRemote cost (the AP1000 configuration of the paper).
+	NotifyPolling NotifyMode = iota
+	// NotifyInterrupt: arrivals interrupt the processor; polling is free
+	// but every received packet pays interrupt entry/exit.
+	NotifyInterrupt
+)
+
+func (m NotifyMode) String() string {
+	if m == NotifyInterrupt {
+		return "interrupt"
+	}
+	return "polling"
+}
+
+// Config describes a simulated multicomputer.
+type Config struct {
+	Nodes    int      // number of processing nodes
+	ClockMHz float64  // processor clock (AP1000: 25MHz SPARC)
+	CPI      float64  // average cycles per instruction (calibrated 2.3)
+	Topology Topology // routing distance model; nil = squarish torus
+	Cost     Cost     // instruction-cost model
+	Net      NetConfig
+	Notify   NotifyMode // arrival notification: polling (default) or interrupt
+}
+
+// DefaultConfig returns an AP1000-like machine with n nodes.
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes:    n,
+		ClockMHz: 25,
+		CPI:      2.3,
+		Topology: SquarishTorus(n),
+		Cost:     DefaultCost(),
+		Net:      DefaultNet(),
+	}
+}
+
+// NsPerInstr returns virtual nanoseconds consumed per instruction.
+func (c Config) NsPerInstr() float64 {
+	return c.CPI * 1000 / c.ClockMHz
+}
+
+// InstrTime converts an instruction count to virtual time.
+func (c Config) InstrTime(instr int) sim.Time {
+	return sim.Time(float64(instr)*c.NsPerInstr() + 0.5)
+}
+
+// Packet is a self-dispatching message in the Active Message style: the
+// sender attaches the handler that runs on the receiving node when the
+// packet is polled. Payload is opaque to the machine layer.
+type Packet struct {
+	Src, Dst int
+	Size     int // bytes, for bandwidth modelling
+	Arrival  sim.Time
+	Category int // handler category 1-4 (for statistics only)
+	Handler  func(n *Node, p *Packet)
+	Payload  any
+}
+
+// Runner is the per-node scheduler installed by the language runtime.
+// Step runs one scheduling quantum (typically: dispatch one buffered
+// message) and reports whether more queued work remains.
+type Runner interface {
+	Step() bool
+}
+
+// Node is one processing element. All state is owned by the simulation
+// goroutine; a Node is not safe for concurrent use.
+type Node struct {
+	ID    int
+	Clock sim.Time // local virtual clock; may run ahead of engine time
+	Busy  sim.Time // accumulated compute time, for utilization
+
+	m             *Machine
+	rx            []*Packet // delivered packets awaiting poll, in arrival order
+	lastArrival   []sim.Time
+	Runner        Runner
+	resumePending bool
+	inResume      bool
+
+	// Counters.
+	InstrCount   uint64
+	PacketsSent  uint64
+	PacketsRecvd uint64
+	BytesSent    uint64
+}
+
+// Machine is the full multicomputer: an event engine plus nodes and the
+// interconnect model.
+type Machine struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	nodes []*Node
+
+	nsPerInstr float64
+
+	// Global counters.
+	TotalPackets uint64
+	TotalBytes   uint64
+}
+
+// New builds a machine from cfg. It validates the topology against the node
+// count.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("machine: node count %d invalid", cfg.Nodes)
+	}
+	if cfg.ClockMHz <= 0 || cfg.CPI <= 0 {
+		return nil, fmt.Errorf("machine: clock %.1fMHz / CPI %.2f invalid", cfg.ClockMHz, cfg.CPI)
+	}
+	if cfg.Topology == nil {
+		cfg.Topology = SquarishTorus(cfg.Nodes)
+	}
+	if err := cfg.Topology.Validate(cfg.Nodes); err != nil {
+		return nil, err
+	}
+	if cfg.Notify == NotifyInterrupt {
+		// Interrupt-driven reception: no polling on the fast path, but each
+		// arriving packet pays interrupt entry/exit on top of extraction.
+		cfg.Cost.RemoteRecvExtract += cfg.Cost.InterruptEntry
+		cfg.Cost.PollRemote = 0
+	}
+	m := &Machine{
+		Cfg:        cfg,
+		Eng:        sim.NewEngine(),
+		nsPerInstr: cfg.NsPerInstr(),
+	}
+	m.nodes = make([]*Node, cfg.Nodes)
+	for i := range m.nodes {
+		m.nodes[i] = &Node{
+			ID:          i,
+			m:           m,
+			lastArrival: make([]sim.Time, cfg.Nodes),
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Node returns node id.
+func (m *Machine) Node(id int) *Node { return m.nodes[id] }
+
+// Nodes returns the node count.
+func (m *Machine) Nodes() int { return len(m.nodes) }
+
+// Run drives the simulation until quiescence (no pending events).
+func (m *Machine) Run() error {
+	_, err := m.Eng.Run()
+	return err
+}
+
+// MaxClock returns the largest node clock, i.e. the parallel makespan.
+func (m *Machine) MaxClock() sim.Time {
+	var max sim.Time
+	for _, n := range m.nodes {
+		if n.Clock > max {
+			max = n.Clock
+		}
+	}
+	return max
+}
+
+// Utilization returns total busy time divided by (makespan × nodes).
+func (m *Machine) Utilization() float64 {
+	span := m.MaxClock()
+	if span == 0 {
+		return 0
+	}
+	var busy sim.Time
+	for _, n := range m.nodes {
+		busy += n.Busy
+	}
+	return float64(busy) / (float64(span) * float64(len(m.nodes)))
+}
+
+// TotalInstr sums instruction counts over all nodes.
+func (m *Machine) TotalInstr() uint64 {
+	var t uint64
+	for _, n := range m.nodes {
+		t += n.InstrCount
+	}
+	return t
+}
+
+// Charge advances the node clock by instr instructions of compute.
+func (n *Node) Charge(instr int) {
+	if instr <= 0 {
+		return
+	}
+	d := sim.Time(float64(instr)*n.m.nsPerInstr + 0.5)
+	n.Clock += d
+	n.Busy += d
+	n.InstrCount += uint64(instr)
+}
+
+// ChargeNs advances the node clock by raw virtual time (used for modelled
+// computation not expressed in instructions).
+func (n *Node) ChargeNs(d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	n.Clock += d
+	n.Busy += d
+}
+
+// Hops returns the routing distance from this node to dst.
+func (n *Node) Hops(dst int) int {
+	return n.m.Cfg.Topology.Hops(n.ID, dst)
+}
+
+// Send transmits p to its destination node. The packet departs at the
+// sender's current clock; hardware latency is added by the interconnect
+// model, and per-(src,dst) FIFO ordering is enforced (the paper's
+// "preservation of transmission order"). Software send cost must already
+// have been charged by the caller.
+func (n *Node) Send(p *Packet) {
+	if p.Dst < 0 || p.Dst >= len(n.m.nodes) {
+		panic(fmt.Sprintf("machine: send to invalid node %d", p.Dst))
+	}
+	p.Src = n.ID
+	dst := n.m.nodes[p.Dst]
+	hops := n.m.Cfg.Topology.Hops(n.ID, p.Dst)
+	arrival := n.Clock + n.m.Cfg.Net.Latency(hops, p.Size)
+	if last := dst.lastArrival[n.ID]; arrival <= last {
+		arrival = last + 1
+	}
+	dst.lastArrival[n.ID] = arrival
+	p.Arrival = arrival
+
+	n.PacketsSent++
+	n.BytesSent += uint64(p.Size)
+	n.m.TotalPackets++
+	n.m.TotalBytes += uint64(p.Size)
+
+	n.m.Eng.Schedule(arrival, func() { dst.deliver(p) })
+}
+
+// deliver runs at the packet's arrival time on the engine: the packet joins
+// the node's receive queue and the node is woken if idle.
+func (n *Node) deliver(p *Packet) {
+	if n.Clock < p.Arrival {
+		n.Clock = p.Arrival
+	}
+	n.rx = append(n.rx, p)
+	n.ensureResume()
+}
+
+// Wake schedules the node's scheduler loop if it is not already pending,
+// e.g. after external work has been queued on its Runner.
+func (n *Node) Wake() { n.ensureResume() }
+
+// Now returns the node's local virtual clock.
+func (n *Node) Now() sim.Time { return n.Clock }
+
+func (n *Node) ensureResume() {
+	if n.resumePending || n.inResume {
+		return
+	}
+	n.resumePending = true
+	n.m.Eng.Schedule(n.Clock, n.resume)
+}
+
+// resume is one node turn: poll arrived packets, run one scheduler quantum,
+// and reschedule if work remains. Keeping turns small interleaves node
+// progress correctly in virtual time.
+func (n *Node) resume() {
+	n.resumePending = false
+	n.inResume = true
+	n.Poll()
+	more := false
+	if n.Runner != nil {
+		more = n.Runner.Step()
+	}
+	n.inResume = false
+	if more || len(n.rx) > 0 {
+		n.ensureResume()
+	}
+}
+
+// Poll dispatches all arrived packets to their attached handlers, in
+// arrival order. Handlers run on this node and may advance its clock.
+func (n *Node) Poll() {
+	for len(n.rx) > 0 {
+		p := n.rx[0]
+		copy(n.rx, n.rx[1:])
+		n.rx[len(n.rx)-1] = nil
+		n.rx = n.rx[:len(n.rx)-1]
+		n.PacketsRecvd++
+		if p.Handler != nil {
+			p.Handler(n, p)
+		}
+	}
+}
+
+// PendingRx reports the number of delivered-but-unpolled packets.
+func (n *Node) PendingRx() int { return len(n.rx) }

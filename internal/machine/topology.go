@@ -1,0 +1,137 @@
+package machine
+
+import "fmt"
+
+// Topology computes routing distances between nodes. Distances feed the
+// per-hop component of network latency.
+type Topology interface {
+	// Name identifies the topology for reports.
+	Name() string
+	// Hops returns the number of network hops between two node IDs.
+	Hops(a, b int) int
+	// Validate checks that the topology can host n nodes.
+	Validate(n int) error
+}
+
+// Torus2D is a two-dimensional wrap-around mesh, the AP1000's T-net shape.
+// Nodes are numbered row-major: id = y*W + x.
+type Torus2D struct {
+	W, H int
+}
+
+// NewTorus2D builds a torus with the given dimensions.
+func NewTorus2D(w, h int) Torus2D { return Torus2D{W: w, H: h} }
+
+// SquarishTorus returns a torus whose W*H == n with W and H as close as
+// possible, matching how AP1000 configurations were laid out.
+func SquarishTorus(n int) Torus2D {
+	if n <= 0 {
+		return Torus2D{W: 1, H: 1}
+	}
+	best := Torus2D{W: n, H: 1}
+	for h := 1; h*h <= n; h++ {
+		if n%h == 0 {
+			best = Torus2D{W: n / h, H: h}
+		}
+	}
+	return best
+}
+
+func (t Torus2D) Name() string { return fmt.Sprintf("torus-%dx%d", t.W, t.H) }
+
+func (t Torus2D) Validate(n int) error {
+	if t.W <= 0 || t.H <= 0 {
+		return fmt.Errorf("machine: torus dimensions %dx%d invalid", t.W, t.H)
+	}
+	if t.W*t.H < n {
+		return fmt.Errorf("machine: torus %dx%d too small for %d nodes", t.W, t.H, n)
+	}
+	return nil
+}
+
+func (t Torus2D) Hops(a, b int) int {
+	ax, ay := a%t.W, a/t.W
+	bx, by := b%t.W, b/t.W
+	dx := wrapDist(ax, bx, t.W)
+	dy := wrapDist(ay, by, t.H)
+	return dx + dy
+}
+
+// wrapDist returns the shortest ring distance between coordinates a and b
+// on a ring of size n.
+func wrapDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// Mesh2D is a two-dimensional mesh without wrap-around links.
+type Mesh2D struct {
+	W, H int
+}
+
+func (m Mesh2D) Name() string { return fmt.Sprintf("mesh-%dx%d", m.W, m.H) }
+
+func (m Mesh2D) Validate(n int) error {
+	if m.W <= 0 || m.H <= 0 {
+		return fmt.Errorf("machine: mesh dimensions %dx%d invalid", m.W, m.H)
+	}
+	if m.W*m.H < n {
+		return fmt.Errorf("machine: mesh %dx%d too small for %d nodes", m.W, m.H, n)
+	}
+	return nil
+}
+
+func (m Mesh2D) Hops(a, b int) int {
+	ax, ay := a%m.W, a/m.W
+	bx, by := b%m.W, b/m.W
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// FullyConnected treats every pair of distinct nodes as one hop apart,
+// useful for isolating software costs from routing distance.
+type FullyConnected struct{}
+
+func (FullyConnected) Name() string         { return "full" }
+func (FullyConnected) Validate(n int) error { return nil }
+func (FullyConnected) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	return 1
+}
+
+// Hypercube connects nodes whose IDs differ in one bit; hops equal the
+// Hamming distance. Node count should be a power of two.
+type Hypercube struct{}
+
+func (Hypercube) Name() string { return "hypercube" }
+
+func (Hypercube) Validate(n int) error {
+	if n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("machine: hypercube requires power-of-two node count, got %d", n)
+	}
+	return nil
+}
+
+func (Hypercube) Hops(a, b int) int {
+	x := uint(a ^ b)
+	h := 0
+	for x != 0 {
+		h++
+		x &= x - 1
+	}
+	return h
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,139 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTorusHopsBasics(t *testing.T) {
+	tor := NewTorus2D(4, 4)
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 1},  // wrap-around on x
+		{0, 12, 1}, // wrap-around on y
+		{0, 5, 2},
+		{0, 10, 4}, // (2,2) away: 2+2
+		{5, 5, 0},
+	}
+	for _, c := range cases {
+		if got := tor.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTorusHopsSymmetryProperty(t *testing.T) {
+	tor := NewTorus2D(8, 4)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%32, int(b)%32
+		return tor.Hops(x, y) == tor.Hops(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusTriangleInequalityProperty(t *testing.T) {
+	tor := NewTorus2D(8, 8)
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%64, int(b)%64, int(c)%64
+		return tor.Hops(x, z) <= tor.Hops(x, y)+tor.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusMaxDistance(t *testing.T) {
+	// On a WxH torus the diameter is floor(W/2)+floor(H/2).
+	tor := NewTorus2D(16, 32)
+	max := 0
+	for b := 0; b < 512; b++ {
+		if h := tor.Hops(0, b); h > max {
+			max = h
+		}
+	}
+	if want := 8 + 16; max != want {
+		t.Fatalf("torus 16x32 diameter = %d, want %d", max, want)
+	}
+}
+
+func TestSquarishTorus(t *testing.T) {
+	cases := []struct {
+		n, w, h int
+	}{
+		{1, 1, 1},
+		{2, 2, 1},
+		{4, 2, 2},
+		{12, 4, 3},
+		{64, 8, 8},
+		{512, 32, 16},
+		{7, 7, 1}, // prime: degenerate ring
+	}
+	for _, c := range cases {
+		tor := SquarishTorus(c.n)
+		if tor.W*tor.H != c.n {
+			t.Errorf("SquarishTorus(%d) = %dx%d, product != n", c.n, tor.W, tor.H)
+		}
+		if tor.W != c.w || tor.H != c.h {
+			t.Errorf("SquarishTorus(%d) = %dx%d, want %dx%d", c.n, tor.W, tor.H, c.w, c.h)
+		}
+		if err := tor.Validate(c.n); err != nil {
+			t.Errorf("SquarishTorus(%d) invalid: %v", c.n, err)
+		}
+	}
+}
+
+func TestMeshHops(t *testing.T) {
+	m := Mesh2D{W: 4, H: 4}
+	if got := m.Hops(0, 3); got != 3 {
+		t.Errorf("mesh has no wrap-around: Hops(0,3) = %d, want 3", got)
+	}
+	if got := m.Hops(0, 15); got != 6 {
+		t.Errorf("Hops(0,15) = %d, want 6", got)
+	}
+}
+
+func TestFullyConnected(t *testing.T) {
+	fc := FullyConnected{}
+	if fc.Hops(3, 3) != 0 {
+		t.Error("self distance must be 0")
+	}
+	if fc.Hops(0, 511) != 1 {
+		t.Error("all pairs must be 1 hop")
+	}
+	if err := fc.Validate(12345); err != nil {
+		t.Error("fully connected must validate any size")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	hc := Hypercube{}
+	if err := hc.Validate(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := hc.Validate(48); err == nil {
+		t.Fatal("non-power-of-two should not validate")
+	}
+	if got := hc.Hops(0b1010, 0b0110); got != 2 {
+		t.Errorf("hamming hops = %d, want 2", got)
+	}
+	if got := hc.Hops(0, 63); got != 6 {
+		t.Errorf("hops(0,63) = %d, want 6", got)
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if err := (Torus2D{W: 2, H: 2}).Validate(5); err == nil {
+		t.Error("undersized torus should fail validation")
+	}
+	if err := (Torus2D{W: 0, H: 4}).Validate(1); err == nil {
+		t.Error("zero dimension should fail validation")
+	}
+	if err := (Mesh2D{W: 2, H: 2}).Validate(5); err == nil {
+		t.Error("undersized mesh should fail validation")
+	}
+}

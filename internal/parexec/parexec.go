@@ -1,0 +1,247 @@
+// Package parexec executes an ABCL runtime with real parallelism: one
+// goroutine per node, channels in place of the simulated interconnect, and
+// wall-clock time in place of virtual time.
+//
+// The discrete-event machine (package machine) is the reference substrate —
+// it reproduces the paper's numbers deterministically. parexec exists to
+// validate that the runtime's scheduling logic (package core) is correct
+// under true concurrency: the same objects, tables and scheduler run with
+// the Go race detector across genuinely parallel nodes. It also serves as a
+// demonstration that the paper's architecture maps onto a modern shared-
+// nothing execution (each node's objects are touched only by that node's
+// goroutine; all cross-node interaction is message passing).
+//
+// Termination uses a standard distributed-quiescence credit scheme: a
+// global in-flight counter is incremented before any cross-node envelope is
+// enqueued and decremented after it is processed; the computation is done
+// when no envelope is in flight and every node is idle.
+package parexec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Exec drives a runtime over goroutine-backed nodes.
+type Exec struct {
+	RT *core.Runtime
+
+	nodes    []*pnode
+	inflight atomic.Int64
+	active   atomic.Int64
+	done     chan struct{}
+	doneOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	started  bool
+	begin    time.Time
+}
+
+// pnode is one goroutine-backed processing element. It implements
+// core.ExecNode; all core callbacks run on its own goroutine (or on the
+// host goroutine before Start).
+type pnode struct {
+	ex *Exec
+	id int
+	rt *core.NodeRT
+
+	mu   sync.Mutex
+	q    []func()
+	wake chan struct{}
+
+	rrNext int
+	instr  int64
+}
+
+// Charge accounts computation; under real execution it is bookkeeping only.
+func (p *pnode) Charge(instr int) { p.instr += int64(instr) }
+
+// Wake signals the node loop; it never blocks.
+func (p *pnode) Wake() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Now returns wall-clock time since Start as sim.Time nanoseconds.
+func (p *pnode) Now() sim.Time {
+	if p.ex.begin.IsZero() {
+		return 0
+	}
+	return sim.Time(time.Since(p.ex.begin))
+}
+
+// New builds an Exec with n nodes and a fresh runtime.
+func New(n int, opt core.Options) *Exec {
+	ex := &Exec{
+		done: make(chan struct{}),
+		stop: make(chan struct{}),
+	}
+	execNodes := make([]core.ExecNode, n)
+	ex.nodes = make([]*pnode, n)
+	cost := machine.DefaultCost()
+	for i := 0; i < n; i++ {
+		p := &pnode{ex: ex, id: i, wake: make(chan struct{}, 1)}
+		ex.nodes[i] = p
+		execNodes[i] = p
+	}
+	ex.RT = core.NewRuntimeOn(execNodes, &cost, opt)
+	for i, p := range ex.nodes {
+		p.rt = ex.RT.NodeRT(i)
+	}
+	ex.RT.SetRemote((*parRemote)(ex))
+	return ex
+}
+
+// push enqueues a cross-node envelope for node id. The in-flight counter is
+// incremented before the envelope becomes visible, which is what makes the
+// quiescence check sound.
+func (ex *Exec) push(id int, fire func()) {
+	ex.inflight.Add(1)
+	p := ex.nodes[id]
+	p.mu.Lock()
+	p.q = append(p.q, fire)
+	p.mu.Unlock()
+	p.Wake()
+}
+
+func (p *pnode) pop() func() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.q) == 0 {
+		return nil
+	}
+	f := p.q[0]
+	copy(p.q, p.q[1:])
+	p.q[len(p.q)-1] = nil
+	p.q = p.q[:len(p.q)-1]
+	return f
+}
+
+// Start freezes the runtime and launches the node goroutines. Perform all
+// setup (class definitions, NewObjectOn, Inject) before calling Start.
+func (ex *Exec) Start() {
+	if ex.started {
+		panic("parexec: Start called twice")
+	}
+	ex.started = true
+	ex.RT.Freeze()
+	ex.begin = time.Now()
+	ex.active.Store(int64(len(ex.nodes)))
+	for _, p := range ex.nodes {
+		ex.wg.Add(1)
+		go p.loop()
+	}
+}
+
+// Wait blocks until the computation is quiescent or the timeout elapses.
+func (ex *Exec) Wait(timeout time.Duration) error {
+	select {
+	case <-ex.done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("parexec: no quiescence within %v (inflight=%d active=%d)",
+			timeout, ex.inflight.Load(), ex.active.Load())
+	}
+}
+
+// Shutdown stops all node loops and waits for them to exit.
+func (ex *Exec) Shutdown() {
+	close(ex.stop)
+	ex.wg.Wait()
+}
+
+// Run is Start + Wait + Shutdown, returning the elapsed wall time.
+func (ex *Exec) Run(timeout time.Duration) (time.Duration, error) {
+	ex.Start()
+	err := ex.Wait(timeout)
+	elapsed := time.Since(ex.begin)
+	ex.Shutdown()
+	return elapsed, err
+}
+
+// TotalInstr sums the accounted instruction counts over all nodes.
+func (ex *Exec) TotalInstr() int64 {
+	var t int64
+	for _, p := range ex.nodes {
+		t += p.instr
+	}
+	return t
+}
+
+func (p *pnode) loop() {
+	defer p.ex.wg.Done()
+	for {
+		worked := true
+		for worked {
+			worked = false
+			for f := p.pop(); f != nil; f = p.pop() {
+				f()
+				p.ex.inflight.Add(-1)
+				worked = true
+			}
+			if p.rt.Step() {
+				worked = true
+				// Drain the scheduler fully before re-checking the mailbox.
+				for p.rt.Step() {
+				}
+			}
+		}
+		// Idle: report and check global quiescence.
+		if p.ex.active.Add(-1) == 0 && p.ex.inflight.Load() == 0 {
+			p.ex.doneOnce.Do(func() { close(p.ex.done) })
+		}
+		select {
+		case <-p.wake:
+			p.ex.active.Add(1)
+		case <-p.ex.stop:
+			return
+		}
+	}
+}
+
+// parRemote implements core.Remote over envelopes. Creation is a blocking
+// round trip (there is no latency to hide under real execution; the chunk
+// stock is a virtual-time optimization studied on the simulator).
+type parRemote Exec
+
+func (x *parRemote) SendMessage(n *core.NodeRT, to core.Address, p core.PatternID, args []core.Value, replyTo core.Address) {
+	ex := (*Exec)(x)
+	target := to.Node
+	ex.push(target, func() {
+		ex.RT.NodeRT(target).DeliverFrame(to.Obj, &core.Frame{Pattern: p, Args: args, ReplyTo: replyTo}, true)
+	})
+}
+
+func (x *parRemote) Create(ctx *core.Ctx, cl *core.Class, ctorArgs []core.Value, k func(*core.Ctx, core.Address)) {
+	ex := (*Exec)(x)
+	n := ctx.NodeRT()
+	p := ex.nodes[n.ID()]
+	p.rrNext = (p.rrNext + 1) % len(ex.nodes)
+	target := p.rrNext
+	if target == n.ID() {
+		k(ctx, ctx.NewLocal(cl, ctorArgs...))
+		return
+	}
+	n.C.RemoteCreations++
+	self := ctx.SelfObject()
+	frame := ctx.CurrentFrame()
+	from := n.ID()
+	ex.push(target, func() {
+		tn := ex.RT.NodeRT(target)
+		chunk := ex.RT.NewFaultChunk(target)
+		ex.RT.InitChunk(tn, chunk, cl, ctorArgs)
+		addr := chunk.Addr()
+		ex.push(from, func() {
+			ex.RT.NodeRT(from).ResumeSaved(self, frame, func(c2 *core.Ctx) { k(c2, addr) })
+		})
+	})
+	ctx.BlockExternal()
+}

@@ -1,0 +1,310 @@
+package remote
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// Handler categories (Section 5.1), recorded on packets for statistics.
+const (
+	CatMessage = 1 // normal message transmission between objects
+	CatCreate  = 2 // request for remote object creation
+	CatChunk   = 3 // reply to remote memory allocation request
+	CatService = 4 // other services (load info is piggybacked instead)
+)
+
+// packetHeaderBytes models the paper's compact message format: "a total of
+// 4 words including routing information, the mail address of the receiver
+// object and the message argument" — routing plus handler address fit in
+// 8 bytes, the receiver address and arguments are accounted separately.
+const packetHeaderBytes = 8
+
+// Options configures the inter-node layer.
+type Options struct {
+	// StockDepth is the number of pre-delivered chunks kept per
+	// (target node, class) pair. Zero disables the stock entirely, forcing
+	// every remote creation through a blocking round trip (the ablation
+	// baseline for the paper's latency-hiding scheme).
+	StockDepth int
+	// Placement picks creation targets; nil means RoundRobin.
+	Placement Placement
+	// Seed initializes the deterministic per-node generators used by
+	// randomized placement policies.
+	Seed int64
+}
+
+// DefaultOptions returns the configuration used by the paper-style runs.
+func DefaultOptions() Options {
+	return Options{StockDepth: 2, Placement: RoundRobin{}, Seed: 1}
+}
+
+// Layer is the inter-node runtime: it implements core.Remote and owns the
+// chunk stocks and placement state of every node.
+type Layer struct {
+	rt    *core.Runtime
+	m     *machine.Machine
+	opt   Options
+	nodes []*nodeState
+
+	// Counters (whole machine).
+	MsgsSent    uint64 // category 1
+	CreatesSent uint64 // category 2
+	ChunksSent  uint64 // category 3
+}
+
+type stockKey struct {
+	node int
+	cls  *core.Class
+}
+
+type nodeState struct {
+	id     int
+	rr     int
+	rrNext int
+	rng    uint64
+	stock  map[stockKey][]*core.Object
+	seeded map[stockKey]bool
+	loads  []int32 // last known scheduling-queue lengths, piggybacked
+}
+
+func (ns *nodeState) nextRand() uint64 {
+	// xorshift64: deterministic, node-local.
+	x := ns.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	ns.rng = x
+	return x
+}
+
+func (ns *nodeState) knownLoad(node int, l *Layer) int {
+	if node == ns.id {
+		return l.rt.NodeRT(node).SchedQueueLen()
+	}
+	return int(ns.loads[node])
+}
+
+// Attach builds the layer and installs it into the runtime. Must run before
+// the runtime freezes.
+func Attach(rt *core.Runtime, opt Options) *Layer {
+	if opt.Placement == nil {
+		opt.Placement = RoundRobin{}
+	}
+	l := &Layer{rt: rt, m: rt.M, opt: opt}
+	l.nodes = make([]*nodeState, rt.Nodes())
+	for i := range l.nodes {
+		l.nodes[i] = &nodeState{
+			id:     i,
+			rng:    uint64(opt.Seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + 1,
+			stock:  make(map[stockKey][]*core.Object),
+			seeded: make(map[stockKey]bool),
+			loads:  make([]int32, rt.Nodes()),
+		}
+	}
+	rt.SetRemote(l)
+	return l
+}
+
+// Placement returns the active placement policy.
+func (l *Layer) Placement() Placement { return l.opt.Placement }
+
+// StockDepth returns the configured chunk-stock depth.
+func (l *Layer) StockDepth() int { return l.opt.StockDepth }
+
+// cost returns the machine's instruction-cost table.
+func (l *Layer) cost() *machine.Cost { return &l.m.Cfg.Cost }
+
+// piggyback records the sender's load in the packet and, at delivery,
+// updates the receiver's view — the category-4 load-monitoring service
+// riding on every packet.
+func (l *Layer) piggyback(src int) int32 {
+	return int32(l.rt.NodeRT(src).SchedQueueLen())
+}
+
+func (l *Layer) noteLoad(dst, src int, load int32) {
+	l.nodes[dst].loads[src] = load
+}
+
+// SendMessage implements core.Remote: category-1 normal message
+// transmission. The compiler-generated specialized handler is modelled by a
+// closure carrying the receiver and the typed arguments — no runtime tags
+// travel on the wire (Section 5.1).
+func (l *Layer) SendMessage(n *core.NodeRT, to core.Address, p core.PatternID, args []core.Value, replyTo core.Address) {
+	c := l.cost()
+	n.MachineNode().Charge(c.RemoteSendSetup)
+	l.MsgsSent++
+	size := packetHeaderBytes + core.ArgsSize(args)
+	if !replyTo.IsNil() {
+		size += 8
+	}
+	load := l.piggyback(n.ID())
+	src := n.ID()
+	n.MachineNode().Send(&machine.Packet{
+		Dst:      to.Node,
+		Size:     size,
+		Category: CatMessage,
+		Handler: func(mn *machine.Node, pkt *machine.Packet) {
+			mn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall)
+			l.noteLoad(mn.ID, src, load)
+			nrt := l.rt.NodeRT(mn.ID)
+			nrt.DeliverFrame(to.Obj, &core.Frame{Pattern: p, Args: args, ReplyTo: replyTo}, true)
+		},
+	})
+}
+
+// Create implements core.Remote: remote object creation with latency hiding
+// (Section 5.2). The placement policy picks a target; a same-node pick is a
+// plain local create. Otherwise the mail address is obtained locally from
+// the chunk stock and k continues immediately; only on an empty stock does
+// the creating object block for a round trip.
+func (l *Layer) Create(ctx *core.Ctx, cl *core.Class, ctorArgs []core.Value, k func(*core.Ctx, core.Address)) {
+	target := l.opt.Placement.Pick(l, ctx.NodeID(), cl)
+	l.CreateOn(ctx, target, cl, ctorArgs, k)
+}
+
+// CreateOn creates an object on an explicit target node.
+func (l *Layer) CreateOn(ctx *core.Ctx, target int, cl *core.Class, ctorArgs []core.Value, k func(*core.Ctx, core.Address)) {
+	if target == ctx.NodeID() {
+		k(ctx, ctx.NewLocal(cl, ctorArgs...))
+		return
+	}
+	n := ctx.NodeRT()
+	c := l.cost()
+	ns := l.nodes[n.ID()]
+	key := stockKey{node: target, cls: cl}
+
+	if !ns.seeded[key] && l.opt.StockDepth > 0 {
+		// Pre-delivery: at boot every node receives an initial stock of
+		// chunk addresses for its peers. Modelled as already present (the
+		// paper's "predelivered stocks"), materialized on first use to keep
+		// memory proportional to the pairs actually communicating.
+		ns.seeded[key] = true
+		for i := 0; i < l.opt.StockDepth; i++ {
+			ns.stock[key] = append(ns.stock[key], l.rt.NewFaultChunk(target))
+		}
+	}
+
+	if st := ns.stock[key]; len(st) > 0 {
+		chunk := st[len(st)-1]
+		ns.stock[key] = st[:len(st)-1]
+		n.MachineNode().Charge(c.StockPop)
+		n.C.StockHits++
+		n.C.RemoteCreations++
+		l.sendCreateRequest(n, target, chunk, cl, ctorArgs, key)
+		// Step 1 of the protocol: the mail address is known locally, before
+		// the creation message even departs — latency hidden, no context
+		// switch.
+		k(ctx, chunk.Addr())
+		return
+	}
+
+	// Empty stock: the creating object must block until the target both
+	// creates the object and replies (split-phase round trip).
+	n.C.StockMisses++
+	n.C.RemoteCreations++
+	self := ctx.SelfObject()
+	frame := ctx.CurrentFrame()
+	l.sendBlockingCreate(n, target, cl, ctorArgs, key, func(addr core.Address) {
+		n.ResumeSaved(self, frame, func(ctx2 *core.Ctx) { k(ctx2, addr) })
+	})
+	ctx.BlockExternal()
+}
+
+// sendCreateRequest transmits the category-2 creation request for a chunk
+// whose address the requester already holds. The target initializes the
+// chunk (class-specific handler), allocates a replacement chunk, and sends
+// its address back as a category-3 reply.
+func (l *Layer) sendCreateRequest(n *core.NodeRT, target int, chunk *core.Object, cl *core.Class, ctorArgs []core.Value, key stockKey) {
+	c := l.cost()
+	n.MachineNode().Charge(c.RemoteSendSetup)
+	l.CreatesSent++
+	src := n.ID()
+	load := l.piggyback(src)
+	n.MachineNode().Send(&machine.Packet{
+		Dst:      target,
+		Size:     packetHeaderBytes + 8 + core.ArgsSize(ctorArgs),
+		Category: CatCreate,
+		Handler: func(mn *machine.Node, pkt *machine.Packet) {
+			mn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall + c.ChunkInit)
+			l.noteLoad(mn.ID, src, load)
+			nrt := l.rt.NodeRT(mn.ID)
+			l.rt.InitChunk(nrt, chunk, cl, ctorArgs)
+			// Step 4: allocate the replacement chunk and return its address.
+			mn.Charge(c.ChunkRefill)
+			replacement := l.rt.NewFaultChunk(mn.ID)
+			l.sendChunkReply(nrt, src, replacement, key, nil)
+		},
+	})
+}
+
+// sendBlockingCreate is the stock-miss path: a category-2 request without a
+// pre-held chunk. The target allocates, initializes, and replies with both
+// the created object's address and a replacement chunk for the stock.
+func (l *Layer) sendBlockingCreate(n *core.NodeRT, target int, cl *core.Class, ctorArgs []core.Value, key stockKey, onCreated func(core.Address)) {
+	c := l.cost()
+	n.MachineNode().Charge(c.RemoteSendSetup)
+	l.CreatesSent++
+	src := n.ID()
+	load := l.piggyback(src)
+	n.MachineNode().Send(&machine.Packet{
+		Dst:      target,
+		Size:     packetHeaderBytes + core.ArgsSize(ctorArgs),
+		Category: CatCreate,
+		Handler: func(mn *machine.Node, pkt *machine.Packet) {
+			mn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall + c.ChunkInit)
+			l.noteLoad(mn.ID, src, load)
+			nrt := l.rt.NodeRT(mn.ID)
+			created := l.rt.NewFaultChunk(mn.ID)
+			l.rt.InitChunk(nrt, created, cl, ctorArgs)
+			mn.Charge(c.ChunkRefill)
+			replacement := l.rt.NewFaultChunk(mn.ID)
+			addr := created.Addr()
+			l.sendChunkReply(nrt, src, replacement, key, func() { onCreated(addr) })
+		},
+	})
+}
+
+// sendChunkReply is the category-3 handler: deliver a replacement chunk
+// address to the requester's stock, and optionally resume a creation that
+// blocked on an empty stock.
+func (l *Layer) sendChunkReply(n *core.NodeRT, requester int, chunk *core.Object, key stockKey, then func()) {
+	c := l.cost()
+	n.MachineNode().Charge(c.RemoteSendSetup)
+	l.ChunksSent++
+	src := n.ID()
+	load := l.piggyback(src)
+	n.MachineNode().Send(&machine.Packet{
+		Dst:      requester,
+		Size:     packetHeaderBytes + 8,
+		Category: CatChunk,
+		Handler: func(mn *machine.Node, pkt *machine.Packet) {
+			mn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall + c.StockPush)
+			l.noteLoad(mn.ID, src, load)
+			if l.opt.StockDepth > 0 {
+				ns := l.nodes[mn.ID]
+				// The stock is capped at its configured depth: a chunk that
+				// would overfill it (after a miss) is simply dropped back to
+				// the target's allocator.
+				if st := ns.stock[key]; len(st) < l.opt.StockDepth {
+					ns.stock[key] = append(st, chunk)
+				}
+			}
+			if then != nil {
+				then()
+			}
+		},
+	})
+}
+
+// StockLevel reports the current stock depth a node holds for a target/class
+// pair (for tests and reports).
+func (l *Layer) StockLevel(node, target int, cl *core.Class) int {
+	return len(l.nodes[node].stock[stockKey{node: target, cls: cl}])
+}
+
+// String describes the layer configuration.
+func (l *Layer) String() string {
+	return fmt.Sprintf("remote{stock=%d placement=%s}", l.opt.StockDepth, l.opt.Placement.Name())
+}

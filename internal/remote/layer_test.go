@@ -1,0 +1,626 @@
+package remote
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// buildSys returns a machine+runtime+layer with the given node count.
+func buildSys(t *testing.T, nodes int, ropt core.Options, lopt Options) (*core.Runtime, *Layer) {
+	t.Helper()
+	m, err := machine.New(machine.DefaultConfig(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.NewRuntime(m, ropt)
+	l := Attach(rt, lopt)
+	return rt, l
+}
+
+func TestRemotePastSendLatency(t *testing.T) {
+	// Table 1's inter-node latency: ~8.9µs one way between adjacent nodes
+	// for a one-word past-type message to a dormant object.
+	rt, _ := buildSys(t, 2, core.Options{}, DefaultOptions())
+	ping := rt.Reg.Register("ping", 1)
+	kick := rt.Reg.Register("kick", 0)
+
+	var arrivedAt sim.Time
+	var target core.Address
+	recv := rt.DefineClass("recv", 0, nil)
+	recv.Method(ping, func(ctx *core.Ctx) { arrivedAt = ctx.Now() })
+	send := rt.DefineClass("send", 0, nil)
+	var sentAt sim.Time
+	send.Method(kick, func(ctx *core.Ctx) {
+		sentAt = ctx.Now()
+		ctx.SendPast(target, ping, core.IntV(1))
+	})
+
+	target = rt.NewObjectOn(1, recv)
+	s := rt.NewObjectOn(0, send)
+	rt.Inject(s, kick)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	lat := arrivedAt - sentAt
+	// Software 3+20 sender + 1.5µs wire + (50+10+5+3+...) receiver side up
+	// to method start; the paper's 8.9µs covers send initiation to method
+	// dispatch. Accept 8-10µs.
+	if lat < 8700 || lat > 9100 {
+		t.Fatalf("one-way latency = %v, want ~8.9µs", lat)
+	}
+	c := rt.TotalStats()
+	if c.RemoteSends != 1 || c.RemoteDelivers != 1 {
+		t.Errorf("remote sends/delivers = %d/%d, want 1/1", c.RemoteSends, c.RemoteDelivers)
+	}
+}
+
+func TestRemoteNowTypeRoundTrip(t *testing.T) {
+	// Table 3's send/reply latency: ~17.8µs for a request-reply cycle.
+	rt, _ := buildSys(t, 2, core.Options{}, DefaultOptions())
+	ask := rt.Reg.Register("ask", 1)
+	kick := rt.Reg.Register("kick", 0)
+
+	var target core.Address
+	var start, end sim.Time
+	var got int64
+	svc := rt.DefineClass("svc", 0, nil)
+	svc.Method(ask, func(ctx *core.Ctx) { ctx.Reply(core.IntV(ctx.Arg(0).Int() + 1)) })
+	cl := rt.DefineClass("cl", 0, nil)
+	cl.Method(kick, func(ctx *core.Ctx) {
+		start = ctx.Now()
+		ctx.SendNow(target, ask, []core.Value{core.IntV(1)}, func(ctx *core.Ctx, v core.Value) {
+			end = ctx.Now()
+			got = v.Int()
+		})
+	})
+
+	target = rt.NewObjectOn(1, svc)
+	c := rt.NewObjectOn(0, cl)
+	rt.Inject(c, kick)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("remote now-send reply = %d, want 2", got)
+	}
+	rtt := end - start
+	if rtt < 17*sim.Microsecond || rtt > 20*sim.Microsecond {
+		t.Fatalf("round trip = %v, want ~17.8µs", rtt)
+	}
+	s := rt.TotalStats()
+	if s.NowBlocked != 1 || s.NowFastPath != 0 {
+		t.Errorf("remote now-send must block: fast=%d blocked=%d", s.NowFastPath, s.NowBlocked)
+	}
+}
+
+func TestRemoteFIFO(t *testing.T) {
+	rt, _ := buildSys(t, 2, core.Options{}, DefaultOptions())
+	item := rt.Reg.Register("item", 1)
+	kick := rt.Reg.Register("kick", 0)
+
+	var got []int64
+	var target core.Address
+	sink := rt.DefineClass("sink", 0, nil)
+	sink.Method(item, func(ctx *core.Ctx) { got = append(got, ctx.Arg(0).Int()) })
+	src := rt.DefineClass("src", 0, nil)
+	src.Method(kick, func(ctx *core.Ctx) {
+		for i := int64(0); i < 20; i++ {
+			ctx.SendPast(target, item, core.IntV(i))
+		}
+	})
+
+	target = rt.NewObjectOn(1, sink)
+	s := rt.NewObjectOn(0, src)
+	rt.Inject(s, kick)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("received %d, want 20", len(got))
+	}
+	for i := int64(0); i < 20; i++ {
+		if got[i] != i {
+			t.Fatalf("transmission order violated: %v", got)
+		}
+	}
+}
+
+func TestRemoteCreateStockHit(t *testing.T) {
+	rt, l := buildSys(t, 2, core.Options{}, Options{StockDepth: 2, Placement: LocalOnly{}, Seed: 1})
+	kick := rt.Reg.Register("kick", 0)
+	get := rt.Reg.Register("get", 0)
+
+	inits := 0
+	worker := rt.DefineClass("worker", 1, func(ic *core.InitCtx) {
+		inits++
+		ic.SetState(0, ic.CtorArg(0))
+	})
+	var got int64 = -1
+	worker.Method(get, func(ctx *core.Ctx) { ctx.Reply(core.IntV(ctx.State(0).Int())) })
+
+	var addrKnownImmediately bool
+	drv := rt.DefineClass("drv", 0, nil)
+	drv.Method(kick, func(ctx *core.Ctx) {
+		before := ctx.Now()
+		l.CreateOn(ctx, 1, worker, []core.Value{core.IntV(42)}, func(ctx *core.Ctx, a core.Address) {
+			// Fast path: continuation runs with only local cost, long before
+			// any network round trip could complete.
+			addrKnownImmediately = ctx.Now()-before < 5*sim.Microsecond
+			if a.Node != 1 {
+				t.Errorf("created on node %d, want 1", a.Node)
+			}
+			ctx.SendNow(a, get, nil, func(ctx *core.Ctx, v core.Value) { got = v.Int() })
+		})
+	})
+
+	d := rt.NewObjectOn(0, drv)
+	rt.Inject(d, kick)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !addrKnownImmediately {
+		t.Error("stock hit must yield the address locally (latency hiding)")
+	}
+	if got != 42 {
+		t.Fatalf("state readback = %d, want 42", got)
+	}
+	if inits != 1 {
+		t.Fatalf("object initialized %d times, want 1", inits)
+	}
+	s := rt.TotalStats()
+	if s.StockHits != 1 || s.StockMisses != 0 {
+		t.Errorf("stock hits/misses = %d/%d, want 1/0", s.StockHits, s.StockMisses)
+	}
+	// The replenishment reply must have restored the stock to full depth.
+	if lvl := l.StockLevel(0, 1, worker); lvl != 2 {
+		t.Errorf("stock level after replenish = %d, want 2", lvl)
+	}
+}
+
+func TestRemoteCreateStockMissBlocks(t *testing.T) {
+	// StockDepth 0 is the ablation: every remote create is a blocking round
+	// trip (split-phase), the behaviour the paper's scheme avoids.
+	rt, l := buildSys(t, 2, core.Options{}, Options{StockDepth: 0, Placement: LocalOnly{}, Seed: 1})
+	kick := rt.Reg.Register("kick", 0)
+	get := rt.Reg.Register("get", 0)
+
+	worker := rt.DefineClass("worker", 1, func(ic *core.InitCtx) { ic.SetState(0, ic.CtorArg(0)) })
+	var got int64 = -1
+	worker.Method(get, func(ctx *core.Ctx) { ctx.Reply(core.IntV(ctx.State(0).Int())) })
+
+	var createElapsed sim.Time
+	drv := rt.DefineClass("drv", 0, nil)
+	drv.Method(kick, func(ctx *core.Ctx) {
+		before := ctx.Now()
+		l.CreateOn(ctx, 1, worker, []core.Value{core.IntV(7)}, func(ctx *core.Ctx, a core.Address) {
+			createElapsed = ctx.Now() - before
+			ctx.SendNow(a, get, nil, func(ctx *core.Ctx, v core.Value) { got = v.Int() })
+		})
+	})
+
+	d := rt.NewObjectOn(0, drv)
+	rt.Inject(d, kick)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("state readback = %d, want 7", got)
+	}
+	if createElapsed < 10*sim.Microsecond {
+		t.Fatalf("blocking create took %v, want a full round trip", createElapsed)
+	}
+	s := rt.TotalStats()
+	if s.StockMisses != 1 || s.StockHits != 0 {
+		t.Errorf("stock hits/misses = %d/%d, want 0/1", s.StockHits, s.StockMisses)
+	}
+}
+
+func TestStockExhaustionAndReplenish(t *testing.T) {
+	// Depth 2, three rapid creations to the same target: two hits, one miss.
+	rt, l := buildSys(t, 2, core.Options{}, Options{StockDepth: 2, Placement: LocalOnly{}, Seed: 1})
+	kick := rt.Reg.Register("kick", 0)
+	nop := rt.Reg.Register("nop", 0)
+
+	worker := rt.DefineClass("worker", 0, nil)
+	worker.Method(nop, func(ctx *core.Ctx) {})
+
+	created := 0
+	drv := rt.DefineClass("drv", 0, nil)
+	var createNext func(ctx *core.Ctx)
+	createNext = func(ctx *core.Ctx) {
+		l.CreateOn(ctx, 1, worker, nil, func(ctx *core.Ctx, a core.Address) {
+			created++
+			if created < 3 {
+				createNext(ctx)
+			}
+		})
+	}
+	drv.Method(kick, func(ctx *core.Ctx) { createNext(ctx) })
+
+	d := rt.NewObjectOn(0, drv)
+	rt.Inject(d, kick)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if created != 3 {
+		t.Fatalf("created %d objects, want 3", created)
+	}
+	s := rt.TotalStats()
+	if s.StockHits != 2 || s.StockMisses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", s.StockHits, s.StockMisses)
+	}
+	// Eventually all replenishments arrive: 2 from hits, 1 from the miss.
+	if lvl := l.StockLevel(0, 1, worker); lvl != 2 {
+		t.Errorf("final stock level = %d, want 2", lvl)
+	}
+}
+
+// bigPayload gives constructor arguments a large wire size so the creation
+// request is slow on the wire and third-party messages can overtake it.
+type bigPayload struct{ n int }
+
+func (b bigPayload) SizeBytes() int { return b.n }
+
+func TestFigure4EarlyMessageRace(t *testing.T) {
+	// A on node 0 creates O on node 1 with a large constructor payload,
+	// then tells C on node 2 about O; C's small message to O overtakes the
+	// big creation request, hits the generic fault table, and is processed
+	// after initialization (Figure 4).
+	rt, l := buildSys(t, 3, core.Options{}, Options{StockDepth: 1, Placement: LocalOnly{}, Seed: 1})
+	kick := rt.Reg.Register("kick", 0)
+	tell := rt.Reg.Register("tell", 1)
+	poke := rt.Reg.Register("poke", 0)
+
+	var initializedAt, pokeSentAt sim.Time
+	var pokeProcessed bool
+	oCls := rt.DefineClass("O", 1, func(ic *core.InitCtx) {
+		ic.SetState(0, core.IntV(1))
+	})
+	oCls.Method(poke, func(ctx *core.Ctx) {
+		if ctx.State(0).Int() != 1 {
+			t.Error("poke ran before initialization")
+		}
+		pokeProcessed = true
+	})
+	_ = initializedAt
+
+	cCls := rt.DefineClass("C", 0, nil)
+	cCls.Method(tell, func(ctx *core.Ctx) {
+		pokeSentAt = ctx.Now()
+		ctx.SendPast(ctx.Arg(0).Ref(), poke)
+	})
+
+	var cAddr core.Address
+	aCls := rt.DefineClass("A", 0, nil)
+	aCls.Method(kick, func(ctx *core.Ctx) {
+		big := core.AnyV(bigPayload{n: 4096}) // ~160µs of wire time
+		l.CreateOn(ctx, 1, oCls, []core.Value{big}, func(ctx *core.Ctx, o core.Address) {
+			ctx.SendPast(cAddr, tell, core.RefV(o))
+		})
+	})
+
+	cAddr = rt.NewObjectOn(2, cCls)
+	a := rt.NewObjectOn(0, aCls)
+	rt.Inject(a, kick)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !pokeProcessed {
+		t.Fatal("poke was never processed")
+	}
+	s := rt.TotalStats()
+	if s.FaultBuffered == 0 {
+		t.Fatalf("expected the early message to hit the fault table (sent at %v)", pokeSentAt)
+	}
+}
+
+func TestPlacementRoundRobin(t *testing.T) {
+	rt, l := buildSys(t, 4, core.Options{}, Options{StockDepth: 1, Placement: RoundRobin{}, Seed: 1})
+	rt.Freeze()
+	var picks []int
+	for i := 0; i < 8; i++ {
+		picks = append(picks, l.Placement().Pick(l, 0, nil))
+	}
+	want := []int{1, 2, 3, 0, 1, 2, 3, 0}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("round robin picks = %v, want %v", picks, want)
+		}
+	}
+}
+
+func TestPlacementRandomDeterministic(t *testing.T) {
+	mk := func() []int {
+		rt, l := buildSys(t, 16, core.Options{}, Options{StockDepth: 1, Placement: Random{}, Seed: 42})
+		rt.Freeze()
+		var picks []int
+		for i := 0; i < 32; i++ {
+			picks = append(picks, l.Placement().Pick(l, 3, nil))
+		}
+		return picks
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random placement must be deterministic per seed")
+		}
+		if a[i] < 0 || a[i] >= 16 {
+			t.Fatalf("pick out of range: %d", a[i])
+		}
+	}
+	// Sanity: not all identical.
+	allSame := true
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Fatal("random placement degenerate")
+	}
+}
+
+func TestPlacementLoadBased(t *testing.T) {
+	rt, l := buildSys(t, 4, core.Options{}, Options{StockDepth: 1, Placement: LoadBased{Candidates: 4}, Seed: 7})
+	rt.Freeze()
+	// Make node 2 look heavily loaded in node 0's view; others idle.
+	l.nodes[0].loads[1] = 0
+	l.nodes[0].loads[2] = 1000
+	l.nodes[0].loads[3] = 0
+	heavyPicks := 0
+	for i := 0; i < 64; i++ {
+		if l.Placement().Pick(l, 0, nil) == 2 {
+			heavyPicks++
+		}
+	}
+	if heavyPicks > 4 {
+		t.Fatalf("load-based placement picked the loaded node %d/64 times", heavyPicks)
+	}
+}
+
+func TestLoadPiggybacking(t *testing.T) {
+	rt, l := buildSys(t, 2, core.Options{}, DefaultOptions())
+	ping := rt.Reg.Register("ping", 0)
+	kick := rt.Reg.Register("kick", 0)
+	var target core.Address
+	recv := rt.DefineClass("recv", 0, nil)
+	recv.Method(ping, func(ctx *core.Ctx) {})
+	send := rt.DefineClass("send", 0, nil)
+	send.Method(kick, func(ctx *core.Ctx) { ctx.SendPast(target, ping) })
+	target = rt.NewObjectOn(1, recv)
+	s := rt.NewObjectOn(0, send)
+	rt.Inject(s, kick)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 must have received node 0's (zero) load — the entry exists and
+	// was written; we can only observe non-panic and the counter here.
+	if l.MsgsSent != 1 {
+		t.Fatalf("category-1 sends = %d, want 1", l.MsgsSent)
+	}
+}
+
+func TestCrossNodePingPongMany(t *testing.T) {
+	// Sustained bidirectional traffic: 2 objects bouncing a counter 200
+	// times across nodes; verifies quiescence and counter totals.
+	rt, _ := buildSys(t, 2, core.Options{}, DefaultOptions())
+	ball := rt.Reg.Register("ball", 1)
+
+	var aAddr, bAddr core.Address
+	bounces := 0
+	mk := func(name string, peer *core.Address) *core.Class {
+		c := rt.DefineClass(name, 0, nil)
+		c.Method(ball, func(ctx *core.Ctx) {
+			n := ctx.Arg(0).Int()
+			bounces++
+			if n > 0 {
+				ctx.SendPast(*peer, ball, core.IntV(n-1))
+			}
+		})
+		return c
+	}
+	ca := mk("A", &bAddr)
+	cb := mk("B", &aAddr)
+	aAddr = rt.NewObjectOn(0, ca)
+	bAddr = rt.NewObjectOn(1, cb)
+	rt.Inject(aAddr, ball, core.IntV(200))
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bounces != 201 {
+		t.Fatalf("bounces = %d, want 201", bounces)
+	}
+	s := rt.TotalStats()
+	if s.RemoteSends != 200 {
+		t.Errorf("remote sends = %d, want 200", s.RemoteSends)
+	}
+}
+
+func TestLayerCreateViaPolicy(t *testing.T) {
+	rt, l := buildSys(t, 4, core.Options{}, Options{StockDepth: 1, Placement: RoundRobin{}, Seed: 1})
+	kick := rt.Reg.Register("t.kick", 0)
+	nop := rt.Reg.Register("t.nop", 0)
+	worker := rt.DefineClass("t.worker", 0, nil)
+	worker.Method(nop, func(ctx *core.Ctx) {})
+
+	var placed []int
+	drv := rt.DefineClass("t.drv", 0, nil)
+	var createNext func(ctx *core.Ctx, left int)
+	createNext = func(ctx *core.Ctx, left int) {
+		if left == 0 {
+			return
+		}
+		ctx.Create(worker, nil, func(ctx *core.Ctx, a core.Address) {
+			placed = append(placed, a.Node)
+			createNext(ctx, left-1)
+		})
+	}
+	drv.Method(kick, func(ctx *core.Ctx) { createNext(ctx, 4) })
+
+	d := rt.NewObjectOn(0, drv)
+	rt.Inject(d, kick)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin from node 0: 1, 2, 3, 0 (the last is a local create).
+	want := []int{1, 2, 3, 0}
+	if len(placed) != 4 {
+		t.Fatalf("placed = %v", placed)
+	}
+	for i := range want {
+		if placed[i] != want[i] {
+			t.Fatalf("placement = %v, want %v", placed, want)
+		}
+	}
+	if l.Placement().Name() != "round-robin" {
+		t.Error("placement name")
+	}
+}
+
+func TestPlacementNamesAndAccessors(t *testing.T) {
+	rt, l := buildSys(t, 4, core.Options{}, Options{StockDepth: 3, Placement: DepthLocal{}, Seed: 1})
+	rt.Freeze()
+	names := map[string]Placement{
+		"round-robin": RoundRobin{},
+		"random":      Random{},
+		"local":       LocalOnly{},
+		"load-based":  LoadBased{},
+		"depth-local": DepthLocal{},
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("placement %T name = %q, want %q", p, p.Name(), want)
+		}
+	}
+	if l.StockDepth() != 3 {
+		t.Errorf("stock depth accessor = %d", l.StockDepth())
+	}
+	if s := l.String(); !strings.Contains(s, "depth-local") || !strings.Contains(s, "stock=3") {
+		t.Errorf("layer string %q", s)
+	}
+	if (LocalOnly{}).Pick(l, 2, nil) != 2 {
+		t.Error("local-only must pick the caller's node")
+	}
+}
+
+func TestDepthLocalPlacement(t *testing.T) {
+	rt, l := buildSys(t, 4, core.Options{}, Options{StockDepth: 1, Placement: DepthLocal{Threshold: 1}, Seed: 9})
+	rt.Freeze()
+	// Idle node: spreads (some pick must differ from 0 over many tries).
+	spread := false
+	for i := 0; i < 16; i++ {
+		if l.Placement().Pick(l, 0, nil) != 0 {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Error("idle depth-local must spread remotely")
+	}
+}
+
+func TestAttachWithNilPlacementDefaults(t *testing.T) {
+	rt, l := buildSys(t, 2, core.Options{}, Options{StockDepth: 1})
+	rt.Freeze()
+	if l.Placement() == nil || l.Placement().Name() != "round-robin" {
+		t.Error("nil placement must default to round-robin")
+	}
+}
+
+func TestCategoryCounters(t *testing.T) {
+	rt, l := buildSys(t, 2, core.Options{}, Options{StockDepth: 1, Placement: LocalOnly{}, Seed: 1})
+	kick := rt.Reg.Register("t.kick", 0)
+	nop := rt.Reg.Register("t.nop", 0)
+	worker := rt.DefineClass("t.worker", 0, nil)
+	worker.Method(nop, func(ctx *core.Ctx) {})
+	drv := rt.DefineClass("t.drv", 0, nil)
+	drv.Method(kick, func(ctx *core.Ctx) {
+		l.CreateOn(ctx, 1, worker, nil, func(ctx *core.Ctx, a core.Address) {
+			ctx.SendPast(a, nop)
+		})
+	})
+	d := rt.NewObjectOn(0, drv)
+	rt.Inject(d, kick)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if l.CreatesSent != 1 {
+		t.Errorf("category-2 sends = %d, want 1", l.CreatesSent)
+	}
+	if l.ChunksSent != 1 {
+		t.Errorf("category-3 sends = %d, want 1", l.ChunksSent)
+	}
+	if l.MsgsSent != 1 {
+		t.Errorf("category-1 sends = %d, want 1", l.MsgsSent)
+	}
+}
+
+func TestCrossNodeReplyDelegation(t *testing.T) {
+	// Caller on node 0 asks a middleman on node 1, which forwards the
+	// request (with the caller's reply destination) to a worker on node 2;
+	// the worker's reply travels straight back to node 0.
+	rt, _ := buildSys(t, 3, core.Options{}, DefaultOptions())
+	work := rt.Reg.Register("d.work", 0)
+	kick := rt.Reg.Register("d.kick", 0)
+
+	var middle, workerAddr core.Address
+	var got string
+	workerCls := rt.DefineClass("d.worker", 0, nil)
+	workerCls.Method(work, func(ctx *core.Ctx) {
+		ctx.Reply(core.StrV("via-delegation"))
+	})
+	middleCls := rt.DefineClass("d.middle", 0, nil)
+	middleCls.Method(work, func(ctx *core.Ctx) {
+		ctx.SendWithReply(workerAddr, work, nil, ctx.ReplyTo())
+	})
+	callerCls := rt.DefineClass("d.caller", 0, nil)
+	callerCls.Method(kick, func(ctx *core.Ctx) {
+		ctx.SendNow(middle, work, nil, func(ctx *core.Ctx, v core.Value) {
+			got = v.Str()
+		})
+	})
+
+	workerAddr = rt.NewObjectOn(2, workerCls)
+	middle = rt.NewObjectOn(1, middleCls)
+	caller := rt.NewObjectOn(0, callerCls)
+	rt.Inject(caller, kick)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "via-delegation" {
+		t.Fatalf("delegated reply = %q", got)
+	}
+	// Three legs: caller->middle, middle->worker, worker->replydest(node 0).
+	if c := rt.TotalStats(); c.RemoteSends != 3 {
+		t.Errorf("remote sends = %d, want 3", c.RemoteSends)
+	}
+}
+
+func TestHintedSendAcrossNodes(t *testing.T) {
+	// A hinted send without HintKnownLocal to a remote receiver must fall
+	// through to the network path and work normally.
+	rt, _ := buildSys(t, 2, core.Options{}, DefaultOptions())
+	ping := rt.Reg.Register("h.ping", 0)
+	kick := rt.Reg.Register("h.kick", 0)
+	ran := false
+	var target core.Address
+	recv := rt.DefineClass("h.recv", 0, nil)
+	recv.Method(ping, func(ctx *core.Ctx) { ran = true })
+	drv := rt.DefineClass("h.drv", 0, nil)
+	drv.Method(kick, func(ctx *core.Ctx) {
+		ctx.SendPastHinted(target, ping, core.HintNoPoll)
+	})
+	target = rt.NewObjectOn(1, recv)
+	d := rt.NewObjectOn(0, drv)
+	rt.Inject(d, kick)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("hinted remote send never arrived")
+	}
+}

@@ -1,0 +1,166 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a priority queue of events ordered by virtual time
+// with a monotonically increasing sequence number as a tie-breaker, so two
+// runs over the same inputs produce identical event orderings. Virtual time
+// is expressed in nanoseconds (Time).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in nanoseconds since simulation start.
+type Time int64
+
+// Common time unit constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros converts t to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Millis converts t to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / 1e6 }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64
+	fire func()
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() (event, bool) {
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+// Engine is a sequential discrete-event simulator. It is not safe for
+// concurrent use; all event callbacks run on the caller's goroutine.
+type Engine struct {
+	heap    eventHeap
+	seq     uint64
+	now     Time
+	stopped bool
+	fired   uint64
+	limit   uint64 // optional safety limit on fired events; 0 = unlimited
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time: the timestamp of the event being
+// fired, or of the last fired event when called between Run calls.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports the number of events fired so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// SetEventLimit installs a safety limit: Run returns an error after firing
+// n events. Zero disables the limit.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// Schedule enqueues fire to run at virtual time at. Scheduling in the past
+// (at < Now) is clamped to Now, preserving causality.
+func (e *Engine) Schedule(at Time, fire func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: at, seq: e.seq, fire: fire})
+}
+
+// After enqueues fire to run d nanoseconds after the current time.
+func (e *Engine) After(d Time, fire func()) { e.Schedule(e.now+d, fire) }
+
+// Stop makes the current Run return after the in-flight event completes.
+// Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called since the last Run.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Run fires events in (time, seq) order until the queue is empty, Stop is
+// called, or the event limit is exceeded. It returns the number of events
+// fired during this call and an error if the limit tripped.
+func (e *Engine) Run() (uint64, error) {
+	return e.RunUntil(-1)
+}
+
+// RunUntil is Run bounded by virtual time: events with timestamp > deadline
+// stay queued. A negative deadline means no bound.
+func (e *Engine) RunUntil(deadline Time) (uint64, error) {
+	e.stopped = false
+	var n uint64
+	for {
+		ev, ok := e.heap.peek()
+		if !ok || e.stopped {
+			return n, nil
+		}
+		if deadline >= 0 && ev.at > deadline {
+			e.now = deadline
+			return n, nil
+		}
+		heap.Pop(&e.heap)
+		e.now = ev.at
+		ev.fire()
+		n++
+		e.fired++
+		if e.limit != 0 && e.fired > e.limit {
+			return n, fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
+		}
+	}
+}
+
+// Drain discards all pending events without firing them.
+func (e *Engine) Drain() {
+	e.heap = e.heap[:0]
+}

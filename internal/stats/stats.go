@@ -1,0 +1,100 @@
+// Package stats collects runtime event counters for the ABCL system: message
+// sends classified by receiver mode, creations, scheduling-queue traffic,
+// chunk-stock behaviour and blocking events. Counters are per node and can
+// be aggregated for whole-machine reports.
+package stats
+
+// Counters is a set of monotonically increasing event counts. The zero value
+// is ready to use. Counters is not safe for concurrent use; in the
+// discrete-event simulator each instance is owned by one node.
+type Counters struct {
+	// Intra-node message sends by receiver state at delivery time.
+	LocalToDormant uint64 // invoked immediately on the sender's stack
+	LocalToActive  uint64 // buffered via a queuing procedure
+	LocalRestores  uint64 // awaited message restoring a waiting object
+
+	// Inter-node traffic.
+	RemoteSends    uint64 // category-1 messages sent
+	RemoteDelivers uint64 // category-1 messages handled
+
+	// Now-type sends.
+	NowFastPath    uint64 // reply had arrived when checked: no unwinding
+	NowBlocked     uint64 // context saved to heap frame (Figure 3)
+	Replies        uint64 // reply messages delivered to reply destinations
+	DroppedReplies uint64 // replies to an already-consumed destination
+
+	// Selective reception.
+	WaitFast    uint64 // awaited message already buffered: no block
+	WaitBlocked uint64 // object switched to waiting mode
+
+	// Object creation.
+	LocalCreations  uint64
+	RemoteCreations uint64
+	StockHits       uint64 // remote creations served from the chunk stock
+	StockMisses     uint64 // empty stock: blocking round trip
+	FaultBuffered   uint64 // messages buffered by the generic fault table
+
+	// Migration.
+	Migrations uint64 // objects moved to another node
+	Forwards   uint64 // messages re-sent through a migration forwarder
+
+	// Scheduling.
+	SchedEnqueues uint64
+	SchedDequeues uint64
+	Preemptions   uint64 // deep-recursion or explicit yields
+	HeapFrames    uint64 // contexts saved to heap frames
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	c.LocalToDormant += o.LocalToDormant
+	c.LocalToActive += o.LocalToActive
+	c.LocalRestores += o.LocalRestores
+	c.RemoteSends += o.RemoteSends
+	c.RemoteDelivers += o.RemoteDelivers
+	c.NowFastPath += o.NowFastPath
+	c.NowBlocked += o.NowBlocked
+	c.Replies += o.Replies
+	c.DroppedReplies += o.DroppedReplies
+	c.WaitFast += o.WaitFast
+	c.WaitBlocked += o.WaitBlocked
+	c.LocalCreations += o.LocalCreations
+	c.RemoteCreations += o.RemoteCreations
+	c.StockHits += o.StockHits
+	c.StockMisses += o.StockMisses
+	c.FaultBuffered += o.FaultBuffered
+	c.Migrations += o.Migrations
+	c.Forwards += o.Forwards
+	c.SchedEnqueues += o.SchedEnqueues
+	c.SchedDequeues += o.SchedDequeues
+	c.Preemptions += o.Preemptions
+	c.HeapFrames += o.HeapFrames
+}
+
+// LocalMessages returns the count of intra-node object-to-object sends.
+func (c *Counters) LocalMessages() uint64 {
+	return c.LocalToDormant + c.LocalToActive + c.LocalRestores
+}
+
+// TotalMessages returns all object-to-object message sends (local sends plus
+// remote sends; remote deliveries are the receiving half of RemoteSends and
+// are not double counted).
+func (c *Counters) TotalMessages() uint64 {
+	return c.LocalMessages() + c.RemoteSends
+}
+
+// Creations returns all object creations.
+func (c *Counters) Creations() uint64 {
+	return c.LocalCreations + c.RemoteCreations
+}
+
+// DormantFraction returns the fraction of local messages that were delivered
+// to dormant objects — the quantity the paper reports as "approximately 75%"
+// for the N-queens programs (Section 6.3).
+func (c *Counters) DormantFraction() float64 {
+	local := c.LocalMessages()
+	if local == 0 {
+		return 0
+	}
+	return float64(c.LocalToDormant) / float64(local)
+}

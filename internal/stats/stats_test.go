@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var c Counters
+	if c.TotalMessages() != 0 || c.Creations() != 0 || c.LocalMessages() != 0 {
+		t.Fatal("zero counters must report zero")
+	}
+	if c.DormantFraction() != 0 {
+		t.Fatal("dormant fraction of zero messages must be 0")
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	c := Counters{
+		LocalToDormant:  75,
+		LocalToActive:   20,
+		LocalRestores:   5,
+		RemoteSends:     50,
+		LocalCreations:  3,
+		RemoteCreations: 7,
+	}
+	if got := c.LocalMessages(); got != 100 {
+		t.Errorf("local messages = %d, want 100", got)
+	}
+	if got := c.TotalMessages(); got != 150 {
+		t.Errorf("total messages = %d, want 150", got)
+	}
+	if got := c.Creations(); got != 10 {
+		t.Errorf("creations = %d, want 10", got)
+	}
+	if got := c.DormantFraction(); got != 0.75 {
+		t.Errorf("dormant fraction = %v, want 0.75", got)
+	}
+}
+
+// randomCounters fills every uint64 field with a random value.
+func randomCounters(rng *rand.Rand) Counters {
+	var c Counters
+	v := reflect.ValueOf(&c).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(uint64(rng.Intn(1000)))
+	}
+	return c
+}
+
+// TestAddCoversEveryField catches the classic bug of adding a counter field
+// but forgetting to extend Add: adding c to zero must reproduce c exactly.
+func TestAddCoversEveryField(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCounters(rng)
+		var sum Counters
+		sum.Add(&c)
+		if sum != c {
+			t.Fatalf("Add does not cover every field:\n got %+v\nwant %+v", sum, c)
+		}
+	}
+}
+
+func TestAddIsCommutativeProperty(t *testing.T) {
+	f := func(seed1, seed2 int64) bool {
+		a := randomCounters(rand.New(rand.NewSource(seed1)))
+		b := randomCounters(rand.New(rand.NewSource(seed2)))
+		ab := a
+		ab.Add(&b)
+		ba := b
+		ba.Add(&a)
+		return ab == ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	var sum Counters
+	one := Counters{LocalToDormant: 1, RemoteSends: 2, HeapFrames: 3}
+	for i := 0; i < 5; i++ {
+		sum.Add(&one)
+	}
+	if sum.LocalToDormant != 5 || sum.RemoteSends != 10 || sum.HeapFrames != 15 {
+		t.Fatalf("accumulation wrong: %+v", sum)
+	}
+}

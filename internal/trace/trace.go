@@ -1,0 +1,117 @@
+// Package trace records runtime events into a bounded ring buffer for
+// debugging and for visualizing schedules. Tracing is optional and off the
+// hot path: callers hold a *Ring and emit events explicitly.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Kind labels a traced event.
+type Kind uint8
+
+// Event kinds.
+const (
+	EvSend Kind = iota
+	EvInvoke
+	EvBuffer
+	EvBlock
+	EvResume
+	EvSchedule
+	EvDispatch
+	EvCreate
+	EvRemoteSend
+	EvRemoteRecv
+)
+
+var kindNames = [...]string{
+	EvSend:       "send",
+	EvInvoke:     "invoke",
+	EvBuffer:     "buffer",
+	EvBlock:      "block",
+	EvResume:     "resume",
+	EvSchedule:   "schedule",
+	EvDispatch:   "dispatch",
+	EvCreate:     "create",
+	EvRemoteSend: "remote-send",
+	EvRemoteRecv: "remote-recv",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	At   sim.Time
+	Node int
+	Kind Kind
+	What string
+}
+
+// Ring is a fixed-capacity event buffer; when full, the oldest events are
+// overwritten. The zero Ring is unusable; use NewRing.
+type Ring struct {
+	buf   []Event
+	next  int
+	count uint64
+}
+
+// NewRing returns a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Add records an event.
+func (r *Ring) Add(at sim.Time, node int, kind Kind, what string) {
+	e := Event{At: at, Node: node, Kind: kind, What: what}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.count++
+}
+
+// Addf records a formatted event.
+func (r *Ring) Addf(at sim.Time, node int, kind Kind, format string, args ...any) {
+	r.Add(at, node, kind, fmt.Sprintf(format, args...))
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Total returns the number of events ever recorded (including overwritten).
+func (r *Ring) Total() uint64 { return r.count }
+
+// Events returns retained events in chronological record order.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Dump writes the retained events, one per line.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintf(w, "%12v n%-4d %-12s %s\n", e.At, e.Node, e.Kind, e.What); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		r.Add(int64ToTime(i), i, EvSend, "x")
+	}
+	if r.Len() != 3 || r.Total() != 3 {
+		t.Fatalf("len=%d total=%d, want 3/3", r.Len(), r.Total())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.Node != i {
+			t.Fatalf("events out of order: %+v", evs)
+		}
+	}
+}
+
+func TestRingWrapsOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Addf(int64ToTime(i), i, EvInvoke, "ev%d", i)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d, want 10", r.Total())
+	}
+	evs := r.Events()
+	want := []int{6, 7, 8, 9}
+	for i := range want {
+		if evs[i].Node != want[i] {
+			t.Fatalf("retained = %v, want nodes %v", evs, want)
+		}
+	}
+}
+
+func TestRingDump(t *testing.T) {
+	r := NewRing(8)
+	r.Add(2300, 0, EvSend, "ping -> obj1")
+	r.Add(4600, 1, EvRemoteRecv, "handler cat1")
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"send", "ping -> obj1", "remote-recv", "n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 2000; i++ {
+		r.Add(0, 0, EvSend, "")
+	}
+	if r.Len() != 1024 {
+		t.Fatalf("default capacity = %d, want 1024", r.Len())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if EvSchedule.String() != "schedule" {
+		t.Error("kind name wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind must still format")
+	}
+}
+
+func int64ToTime(i int) sim.Time { return sim.Time(i) }
