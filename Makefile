@@ -1,0 +1,23 @@
+# Convenience targets for the ABCL/onAP1000 reproduction.
+#
+#   make tier1           build + full test suite (the acceptance gate)
+#   make vet-race        go vet + race-detector pass over the parallel core
+#   make scenario-smoke  run every bundled fault scenario end to end
+#   make check           all of the above
+
+.PHONY: all tier1 vet-race scenario-smoke check
+
+all: tier1
+
+tier1:
+	go build ./...
+	go test ./...
+
+vet-race:
+	go vet ./...
+	go test -race ./internal/parexec/... ./internal/core/...
+
+scenario-smoke:
+	go run ./cmd/abclsim -workload scenario -scenario all
+
+check: tier1 vet-race scenario-smoke

@@ -11,7 +11,7 @@
 // patterns and classes, create objects, inject initial messages, and run the
 // system to quiescence in virtual time:
 //
-//	sys, _ := abcl.NewSystem(abcl.Config{Nodes: 4})
+//	sys, _ := abcl.NewSystem(abcl.WithNodes(4))
 //	hello := sys.Pattern("hello", 0)
 //	greeter := sys.Class("greeter", 0, nil)
 //	greeter.Method(hello, func(ctx *abcl.Ctx) { fmt.Println("hi") })
@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/remote"
 	"repro/internal/sim"
@@ -64,7 +65,26 @@ type (
 	Time = sim.Time
 	// Placement chooses nodes for remote creation.
 	Placement = remote.Placement
+	// MachineConfig is the full simulated-machine configuration.
+	MachineConfig = machine.Config
+	// FaultPlan declares deterministic link and node faults; the zero value
+	// means a fault-free machine. See package fault.
+	FaultPlan = fault.Plan
+	// LinkFault is one per-link fault rule inside a FaultPlan.
+	LinkFault = fault.LinkFault
+	// NodePause pauses one node's processor for a virtual-time window.
+	NodePause = fault.NodePause
 )
+
+// Wildcard matches any node in a LinkFault's Src or Dst.
+const Wildcard = fault.Wildcard
+
+// UniformFaults builds a FaultPlan applying the same drop probability,
+// duplication probability and maximum latency jitter to every inter-node
+// link.
+func UniformFaults(drop, dup float64, jitter Time) FaultPlan {
+	return fault.UniformLinks(drop, dup, jitter)
+}
 
 // Scheduling policies.
 const (
@@ -114,8 +134,233 @@ var (
 	PlaceDepthLocal Placement = remote.DepthLocal{}
 )
 
-// Config describes a System. The zero value of every field selects the
-// AP1000-flavoured default.
+// DefaultSeed drives placement and fault-injection randomness when no
+// WithSeed option is given (and when the legacy Config.Seed is zero). The
+// seed is never silently remapped: Seed() always reports the value in use.
+const DefaultSeed int64 = 1
+
+// DefaultStockDepth is the chunk-stock depth per (node, class) when neither
+// WithChunkStock nor WithoutChunkStock is given.
+const DefaultStockDepth = 2
+
+// settings is the resolved configuration an Option edits.
+type settings struct {
+	nodes     int
+	policy    Policy
+	maxStack  int
+	stock     int // resolved depth; 0 disables the stock
+	placement Placement
+	seed      int64
+	machine   *machine.Config
+	traceCap  int
+	faults    FaultPlan
+}
+
+// Option configures a System under construction. Options are applied in
+// order; later options override earlier ones.
+type Option func(*settings) error
+
+// WithNodes sets the processor count (default 1).
+func WithNodes(n int) Option {
+	return func(s *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("abcl: WithNodes(%d): node count must be positive", n)
+		}
+		s.nodes = n
+		return nil
+	}
+}
+
+// WithPolicy selects stack-based (the default) or naive scheduling.
+func WithPolicy(p Policy) Option {
+	return func(s *settings) error {
+		if p != StackBased && p != Naive {
+			return fmt.Errorf("abcl: WithPolicy(%v): unknown policy", p)
+		}
+		s.policy = p
+		return nil
+	}
+}
+
+// WithMaxStackDepth bounds stack-based invocation nesting (default 64).
+func WithMaxStackDepth(d int) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("abcl: WithMaxStackDepth(%d): depth must be positive", d)
+		}
+		s.maxStack = d
+		return nil
+	}
+}
+
+// WithPlacement picks the remote-creation placement policy (default
+// PlaceRoundRobin).
+func WithPlacement(p Placement) Option {
+	return func(s *settings) error {
+		if p == nil {
+			return fmt.Errorf("abcl: WithPlacement(nil): placement must be non-nil")
+		}
+		s.placement = p
+		return nil
+	}
+}
+
+// WithSeed sets the seed for deterministic placement and fault injection.
+// Zero is rejected — it is too easily a forgotten field; omit the option to
+// get DefaultSeed.
+func WithSeed(seed int64) Option {
+	return func(s *settings) error {
+		if seed == 0 {
+			return fmt.Errorf("abcl: WithSeed(0): seed must be non-zero (omit the option for DefaultSeed)")
+		}
+		s.seed = seed
+		return nil
+	}
+}
+
+// WithTrace enables runtime event tracing into a ring buffer of capacity
+// events, available as System.Trace.
+func WithTrace(capacity int) Option {
+	return func(s *settings) error {
+		if capacity <= 0 {
+			return fmt.Errorf("abcl: WithTrace(%d): capacity must be positive", capacity)
+		}
+		s.traceCap = capacity
+		return nil
+	}
+}
+
+// WithMachine overrides the full machine configuration; its node count is
+// replaced by the system's. Without this option an AP1000-like default
+// (25MHz, CPI 2.3, squarish torus) is used.
+func WithMachine(cfg MachineConfig) Option {
+	return func(s *settings) error {
+		s.machine = &cfg
+		return nil
+	}
+}
+
+// WithChunkStock sets the chunk-stock depth per (node, class) for
+// latency-hiding remote creation. Depth must be positive; use
+// WithoutChunkStock to disable the stock entirely.
+func WithChunkStock(depth int) Option {
+	return func(s *settings) error {
+		if depth <= 0 {
+			return fmt.Errorf("abcl: WithChunkStock(%d): depth must be positive (use WithoutChunkStock to disable)", depth)
+		}
+		s.stock = depth
+		return nil
+	}
+}
+
+// WithoutChunkStock disables the chunk stock: every remote creation does a
+// blocking round trip.
+func WithoutChunkStock() Option {
+	return func(s *settings) error {
+		s.stock = 0
+		return nil
+	}
+}
+
+// WithFaults installs a deterministic fault plan on the machine's
+// interconnect and enables the reliable-delivery (ack/retry) protocol in
+// the inter-node layer, so all runtime traffic — past-type sends, remote
+// creation, replies, migration — survives the declared faults without any
+// change to method-body code. The plan is validated against the node count
+// at construction. A zero plan is a no-op.
+func WithFaults(plan FaultPlan) Option {
+	return func(s *settings) error {
+		s.faults = plan
+		return nil
+	}
+}
+
+// System is a complete simulated multicomputer running the ABCL runtime.
+type System struct {
+	M   *machine.Machine
+	RT  *core.Runtime
+	Net *remote.Layer
+	// Trace holds runtime events when tracing was enabled (WithTrace).
+	Trace *trace.Ring
+
+	seed   int64
+	faults FaultPlan
+}
+
+// NewSystem builds a System from functional options:
+//
+//	sys, err := abcl.NewSystem(
+//	    abcl.WithNodes(16),
+//	    abcl.WithSeed(7),
+//	    abcl.WithFaults(abcl.UniformFaults(0.1, 0.05, 0)),
+//	)
+//
+// Every omitted option selects the AP1000-flavoured default. The legacy
+// struct form survives as NewSystemConfig.
+func NewSystem(opts ...Option) (*System, error) {
+	s := settings{
+		nodes:     1,
+		policy:    StackBased,
+		stock:     DefaultStockDepth,
+		placement: remote.RoundRobin{},
+		seed:      DefaultSeed,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("abcl: nil Option")
+		}
+		if err := opt(&s); err != nil {
+			return nil, err
+		}
+	}
+	mcfg := machine.DefaultConfig(s.nodes)
+	if s.machine != nil {
+		mcfg = *s.machine
+		mcfg.Nodes = s.nodes
+	}
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("abcl: %w", err)
+	}
+	var ring *trace.Ring
+	if s.traceCap > 0 {
+		ring = trace.NewRing(s.traceCap)
+	}
+	reliable := s.faults.Enabled()
+	if reliable {
+		inj, err := fault.NewInjector(s.faults, s.seed, s.nodes)
+		if err != nil {
+			return nil, fmt.Errorf("abcl: %w", err)
+		}
+		m.SetFaults(inj)
+	}
+	rt := core.NewRuntime(m, core.Options{
+		Policy:        s.policy,
+		MaxStackDepth: s.maxStack,
+		Trace:         ring,
+	})
+	net := remote.Attach(rt, remote.Options{
+		StockDepth: s.stock,
+		Placement:  s.placement,
+		Seed:       s.seed,
+		Reliable:   reliable,
+		Trace:      ring,
+	})
+	return &System{M: m, RT: rt, Net: net, Trace: ring, seed: s.seed, faults: s.faults}, nil
+}
+
+// MustNewSystem is NewSystem for known-good configurations.
+func MustNewSystem(opts ...Option) *System {
+	s, err := NewSystem(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config is the legacy struct configuration, kept for callers predating the
+// option form. The zero value of every field selects the AP1000-flavoured
+// default.
 type Config struct {
 	// Nodes is the processor count (default 1).
 	Nodes int
@@ -124,78 +369,72 @@ type Config struct {
 	// MaxStackDepth bounds stack-based invocation nesting (default 64).
 	MaxStackDepth int
 	// StockDepth is the chunk-stock depth per (node, class); -1 disables
-	// the stock (every remote create blocks), 0 selects the default of 2.
+	// the stock (every remote create blocks, WithoutChunkStock), 0 selects
+	// DefaultStockDepth (WithChunkStock(2)).
 	StockDepth int
 	// Placement picks remote-creation targets (default round-robin).
 	Placement Placement
-	// Seed drives randomized placement deterministically.
+	// Seed drives randomized placement deterministically; 0 selects
+	// DefaultSeed.
 	Seed int64
 	// Machine overrides the full machine configuration; when nil an
 	// AP1000-like default (25MHz, CPI 2.3, squarish torus) is used.
-	Machine *machine.Config
+	Machine *MachineConfig
 	// TraceCapacity, when positive, enables runtime event tracing into a
 	// ring buffer of that many events, available as System.Trace.
 	TraceCapacity int
+	// Faults, when enabled, injects interconnect faults and turns on
+	// reliable delivery (WithFaults).
+	Faults FaultPlan
 }
 
-// System is a complete simulated multicomputer running the ABCL runtime.
-type System struct {
-	M   *machine.Machine
-	RT  *core.Runtime
-	Net *remote.Layer
-	// Trace holds runtime events when Config.TraceCapacity was positive.
-	Trace *trace.Ring
-}
-
-// NewSystem builds a System from cfg.
-func NewSystem(cfg Config) (*System, error) {
-	if cfg.Nodes <= 0 {
-		cfg.Nodes = 1
+// Options translates the legacy struct into the equivalent option list,
+// applying the documented sentinel mappings (StockDepth -1 → disabled,
+// 0 → DefaultStockDepth; Seed 0 → DefaultSeed).
+func (cfg Config) Options() []Option {
+	var opts []Option
+	if cfg.Nodes > 0 {
+		opts = append(opts, WithNodes(cfg.Nodes))
 	}
-	mcfg := machine.DefaultConfig(cfg.Nodes)
-	if cfg.Machine != nil {
-		mcfg = *cfg.Machine
-		mcfg.Nodes = cfg.Nodes
+	if cfg.Policy != StackBased {
+		opts = append(opts, WithPolicy(cfg.Policy))
 	}
-	m, err := machine.New(mcfg)
-	if err != nil {
-		return nil, fmt.Errorf("abcl: %w", err)
+	if cfg.MaxStackDepth > 0 {
+		opts = append(opts, WithMaxStackDepth(cfg.MaxStackDepth))
 	}
-	var ring *trace.Ring
-	if cfg.TraceCapacity > 0 {
-		ring = trace.NewRing(cfg.TraceCapacity)
-	}
-	rt := core.NewRuntime(m, core.Options{
-		Policy:        cfg.Policy,
-		MaxStackDepth: cfg.MaxStackDepth,
-		Trace:         ring,
-	})
-	stock := cfg.StockDepth
 	switch {
-	case stock < 0:
-		stock = 0
-	case stock == 0:
-		stock = 2
+	case cfg.StockDepth < 0:
+		opts = append(opts, WithoutChunkStock())
+	case cfg.StockDepth > 0:
+		opts = append(opts, WithChunkStock(cfg.StockDepth))
 	}
-	placement := cfg.Placement
-	if placement == nil {
-		placement = remote.RoundRobin{}
+	if cfg.Placement != nil {
+		opts = append(opts, WithPlacement(cfg.Placement))
 	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
+	if cfg.Seed != 0 {
+		opts = append(opts, WithSeed(cfg.Seed))
 	}
-	net := remote.Attach(rt, remote.Options{
-		StockDepth: stock,
-		Placement:  placement,
-		Seed:       seed,
-	})
-	return &System{M: m, RT: rt, Net: net, Trace: ring}, nil
+	if cfg.Machine != nil {
+		opts = append(opts, WithMachine(*cfg.Machine))
+	}
+	if cfg.TraceCapacity > 0 {
+		opts = append(opts, WithTrace(cfg.TraceCapacity))
+	}
+	if cfg.Faults.Enabled() {
+		opts = append(opts, WithFaults(cfg.Faults))
+	}
+	return opts
 }
 
-// MustNewSystem is NewSystem for known-good configurations.
-func MustNewSystem(cfg Config) *System {
-	s, err := NewSystem(cfg)
+// NewSystemConfig builds a System from the legacy Config struct. New code
+// should use NewSystem with options.
+func NewSystemConfig(cfg Config) (*System, error) {
+	return NewSystem(cfg.Options()...)
+}
+
+// MustNewSystemConfig is NewSystemConfig for known-good configurations.
+func MustNewSystemConfig(cfg Config) *System {
+	s, err := NewSystemConfig(cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -240,6 +479,17 @@ func (s *System) Migrate(obj Address, target int, onDone func(Address)) error {
 
 // Nodes returns the node count.
 func (s *System) Nodes() int { return s.M.Nodes() }
+
+// Seed returns the seed actually in use for placement and fault injection
+// (DefaultSeed when none was configured).
+func (s *System) Seed() int64 { return s.seed }
+
+// Faults returns the configured fault plan; the zero plan means a
+// fault-free interconnect.
+func (s *System) Faults() FaultPlan { return s.faults }
+
+// Reliable reports whether the ack/retry delivery protocol is active.
+func (s *System) Reliable() bool { return s.Net.Reliable() }
 
 // Elapsed returns the parallel makespan: the largest node clock.
 func (s *System) Elapsed() Time { return s.M.MaxClock() }

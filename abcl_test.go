@@ -8,7 +8,7 @@ import (
 )
 
 func TestNewSystemDefaults(t *testing.T) {
-	sys, err := abcl.NewSystem(abcl.Config{})
+	sys, err := abcl.NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestNewSystemDefaults(t *testing.T) {
 func TestNewSystemInvalidMachine(t *testing.T) {
 	bad := machine.DefaultConfig(4)
 	bad.ClockMHz = -1
-	if _, err := abcl.NewSystem(abcl.Config{Nodes: 4, Machine: &bad}); err == nil {
+	if _, err := abcl.NewSystem(abcl.WithNodes(4), abcl.WithMachine(bad)); err == nil {
 		t.Fatal("invalid machine config must be rejected")
 	}
 }
@@ -36,11 +36,11 @@ func TestMustNewSystemPanics(t *testing.T) {
 			t.Fatal("MustNewSystem must panic on bad config")
 		}
 	}()
-	abcl.MustNewSystem(abcl.Config{Nodes: 4, Machine: &bad})
+	abcl.MustNewSystem(abcl.WithNodes(4), abcl.WithMachine(bad))
 }
 
 func TestEndToEndFacade(t *testing.T) {
-	sys := abcl.MustNewSystem(abcl.Config{Nodes: 2, Seed: 7})
+	sys := abcl.MustNewSystem(abcl.WithNodes(2), abcl.WithSeed(7))
 	echo := sys.Pattern("echo", 1)
 	kick := sys.Pattern("kick", 0)
 
@@ -78,18 +78,94 @@ func TestEndToEndFacade(t *testing.T) {
 	}
 }
 
-func TestStockDepthConfig(t *testing.T) {
-	sys := abcl.MustNewSystem(abcl.Config{Nodes: 2, StockDepth: -1})
+func TestChunkStockOptions(t *testing.T) {
+	sys := abcl.MustNewSystem(abcl.WithNodes(2), abcl.WithoutChunkStock())
 	if sys.Net.StockDepth() != 0 {
-		t.Errorf("StockDepth -1 should disable the stock, got %d", sys.Net.StockDepth())
+		t.Errorf("WithoutChunkStock: depth = %d, want 0", sys.Net.StockDepth())
 	}
-	sys2 := abcl.MustNewSystem(abcl.Config{Nodes: 2})
-	if sys2.Net.StockDepth() != 2 {
-		t.Errorf("default stock depth = %d, want 2", sys2.Net.StockDepth())
+	sys2 := abcl.MustNewSystem(abcl.WithNodes(2))
+	if sys2.Net.StockDepth() != abcl.DefaultStockDepth {
+		t.Errorf("default stock depth = %d, want %d", sys2.Net.StockDepth(), abcl.DefaultStockDepth)
 	}
-	sys3 := abcl.MustNewSystem(abcl.Config{Nodes: 2, StockDepth: 5})
+	sys3 := abcl.MustNewSystem(abcl.WithNodes(2), abcl.WithChunkStock(5))
 	if sys3.Net.StockDepth() != 5 {
 		t.Errorf("explicit stock depth = %d, want 5", sys3.Net.StockDepth())
+	}
+	if _, err := abcl.NewSystem(abcl.WithChunkStock(0)); err == nil {
+		t.Error("WithChunkStock(0) must be rejected (use WithoutChunkStock)")
+	}
+}
+
+// TestLegacyConfigMapping pins the documented sentinel translation of the
+// compat wrapper: StockDepth -1 → disabled, 0 → DefaultStockDepth; Seed
+// 0 → DefaultSeed.
+func TestLegacyConfigMapping(t *testing.T) {
+	sys := abcl.MustNewSystemConfig(abcl.Config{Nodes: 2, StockDepth: -1})
+	if sys.Net.StockDepth() != 0 {
+		t.Errorf("Config.StockDepth -1: depth = %d, want 0", sys.Net.StockDepth())
+	}
+	sys2 := abcl.MustNewSystemConfig(abcl.Config{Nodes: 2})
+	if sys2.Net.StockDepth() != abcl.DefaultStockDepth {
+		t.Errorf("Config.StockDepth 0: depth = %d, want %d", sys2.Net.StockDepth(), abcl.DefaultStockDepth)
+	}
+	if sys2.Seed() != abcl.DefaultSeed {
+		t.Errorf("Config.Seed 0: seed = %d, want DefaultSeed (%d)", sys2.Seed(), abcl.DefaultSeed)
+	}
+	sys3 := abcl.MustNewSystemConfig(abcl.Config{Nodes: 2, StockDepth: 5, Seed: 9})
+	if sys3.Net.StockDepth() != 5 || sys3.Seed() != 9 {
+		t.Errorf("explicit config: depth=%d seed=%d, want 5/9", sys3.Net.StockDepth(), sys3.Seed())
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  abcl.Option
+	}{
+		{"WithNodes(0)", abcl.WithNodes(0)},
+		{"WithNodes(-3)", abcl.WithNodes(-3)},
+		{"WithSeed(0)", abcl.WithSeed(0)},
+		{"WithTrace(0)", abcl.WithTrace(0)},
+		{"WithPlacement(nil)", abcl.WithPlacement(nil)},
+		{"WithMaxStackDepth(0)", abcl.WithMaxStackDepth(0)},
+		{"WithChunkStock(-1)", abcl.WithChunkStock(-1)},
+		{"WithPolicy(99)", abcl.WithPolicy(abcl.Policy(99))},
+		{"nil option", nil},
+	}
+	for _, tc := range cases {
+		if _, err := abcl.NewSystem(tc.opt); err == nil {
+			t.Errorf("%s: want error, got none", tc.name)
+		}
+	}
+	// Invalid fault plans are rejected at construction.
+	if _, err := abcl.NewSystem(abcl.WithNodes(2), abcl.WithFaults(abcl.UniformFaults(1.0, 0, 0))); err == nil {
+		t.Error("drop probability 1.0 must be rejected")
+	}
+	if _, err := abcl.NewSystem(abcl.WithNodes(2), abcl.WithFaults(abcl.UniformFaults(-0.1, 0, 0))); err == nil {
+		t.Error("negative drop probability must be rejected")
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if got := abcl.MustNewSystem().Seed(); got != abcl.DefaultSeed {
+		t.Errorf("default seed = %d, want %d", got, abcl.DefaultSeed)
+	}
+	if got := abcl.MustNewSystem(abcl.WithSeed(1234)).Seed(); got != 1234 {
+		t.Errorf("seed = %d, want 1234", got)
+	}
+}
+
+func TestWithFaultsEnablesReliability(t *testing.T) {
+	sys := abcl.MustNewSystem(abcl.WithNodes(2), abcl.WithFaults(abcl.UniformFaults(0.1, 0, 0)))
+	if !sys.Reliable() {
+		t.Error("WithFaults must enable the reliable protocol")
+	}
+	if sys.M.Faults() == nil {
+		t.Error("WithFaults must install the injector on the machine")
+	}
+	plain := abcl.MustNewSystem(abcl.WithNodes(2))
+	if plain.Reliable() || plain.M.Faults() != nil {
+		t.Error("fault-free system must not pay for reliability")
 	}
 }
 
@@ -131,14 +207,14 @@ func TestValueConstructors(t *testing.T) {
 func TestCustomMachineConfig(t *testing.T) {
 	cfg := machine.DefaultConfig(8)
 	cfg.ClockMHz = 50 // a faster processor: everything halves
-	sys := abcl.MustNewSystem(abcl.Config{Nodes: 8, Machine: &cfg})
+	sys := abcl.MustNewSystem(abcl.WithNodes(8), abcl.WithMachine(cfg))
 	if got := sys.InstrTime(25); got != 1150 {
 		t.Errorf("InstrTime at 50MHz = %v, want 1.15µs", got)
 	}
 }
 
 func TestTracing(t *testing.T) {
-	sys := abcl.MustNewSystem(abcl.Config{Nodes: 1, TraceCapacity: 256})
+	sys := abcl.MustNewSystem(abcl.WithNodes(1), abcl.WithTrace(256))
 	ping := sys.Pattern("ping", 1)
 	cls := sys.Class("cls", 0, nil)
 	cls.Method(ping, func(ctx *abcl.Ctx) {
@@ -172,14 +248,14 @@ func TestTracing(t *testing.T) {
 }
 
 func TestTracingDisabledByDefault(t *testing.T) {
-	sys := abcl.MustNewSystem(abcl.Config{Nodes: 1})
+	sys := abcl.MustNewSystem(abcl.WithNodes(1))
 	if sys.Trace != nil {
 		t.Fatal("trace ring allocated without TraceCapacity")
 	}
 }
 
 func TestSystemMigrate(t *testing.T) {
-	sys := abcl.MustNewSystem(abcl.Config{Nodes: 2})
+	sys := abcl.MustNewSystem(abcl.WithNodes(2))
 	inc := sys.Pattern("inc", 0)
 	cls := sys.Class("cls", 1, func(ic *abcl.InitCtx) { ic.SetState(0, abcl.Int(0)) })
 	cls.Method(inc, func(ctx *abcl.Ctx) {

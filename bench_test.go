@@ -247,7 +247,7 @@ func BenchmarkAblation_Topology(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := machine.DefaultConfig(64)
 				cfg.Topology = tc.topo
-				sys, err := abcl.NewSystem(abcl.Config{Nodes: 64, Machine: &cfg, Seed: 1})
+				sys, err := abcl.NewSystem(abcl.WithNodes(64), abcl.WithMachine(cfg), abcl.WithSeed(1))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -304,7 +304,7 @@ func BenchmarkAblation_NotifyMode(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := machine.DefaultConfig(64)
 				cfg.Notify = mode
-				sys, err := abcl.NewSystem(abcl.Config{Nodes: 64, Machine: &cfg, Seed: 1})
+				sys, err := abcl.NewSystem(abcl.WithNodes(64), abcl.WithMachine(cfg), abcl.WithSeed(1))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -330,7 +330,7 @@ func BenchmarkAblation_SendHints(b *testing.B) {
 	run := func(b *testing.B, hints core.SendHint) {
 		var per float64
 		for i := 0; i < b.N; i++ {
-			sys, err := abcl.NewSystem(abcl.Config{Nodes: 1})
+			sys, err := abcl.NewSystem(abcl.WithNodes(1))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -395,7 +395,7 @@ func BenchmarkDiffusion(b *testing.B) {
 // its forwarder afterwards.
 func BenchmarkMigrationForwarding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys, err := abcl.NewSystem(abcl.Config{Nodes: 3})
+		sys, err := abcl.NewSystem(abcl.WithNodes(3))
 		if err != nil {
 			b.Fatal(err)
 		}

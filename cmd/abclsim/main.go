@@ -5,12 +5,25 @@
 //	abclsim -workload nqueens -n 10 -nodes 64 -policy naive
 //	abclsim -workload pingpong -nodes 2
 //	abclsim -workload forkjoin -depth 12 -nodes 64
+//
+// Any workload can run over a faulty interconnect (which switches the
+// inter-node layer to its reliable ack/retry protocol):
+//
+//	abclsim -workload forkjoin -depth 10 -nodes 16 -drop 0.1 -dup 0.05
+//
+// Declarative fault scenarios (fleet + fault schedule + assertions) run via
+// the scenario workload:
+//
+//	abclsim -workload scenario -scenario all
+//	abclsim -workload scenario -scenario nqueens-lossy
+//	abclsim -workload scenario -scenario path/to/spec.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	abcl "repro"
 	"repro/internal/apps/diffusion"
@@ -18,10 +31,12 @@ import (
 	"repro/internal/apps/nqueens"
 	"repro/internal/apps/pingpong"
 	"repro/internal/machine"
+	"repro/internal/scenario"
 )
 
 var (
-	workload  = flag.String("workload", "nqueens", "workload: nqueens | pingpong | forkjoin | diffusion")
+	workload  = flag.String("workload", "nqueens", "workload: nqueens | pingpong | forkjoin | diffusion | scenario")
+	scen      = flag.String("scenario", "all", "scenario to run: all | <bundled name> | <path to .json>")
 	n         = flag.Int("n", 10, "N-queens board size")
 	depth     = flag.Int("depth", 10, "fork-join tree depth")
 	grid      = flag.Int("grid", 16, "diffusion grid edge length")
@@ -34,7 +49,45 @@ var (
 	stock     = flag.Int("stock", 2, "chunk-stock depth (-1 disables)")
 	iters     = flag.Int("iters", 1000, "ping-pong iterations")
 	traceN    = flag.Int("trace", 0, "dump the last N runtime trace events")
+
+	drop   = flag.Float64("drop", 0, "link fault: per-packet drop probability [0,1)")
+	dup    = flag.Float64("dup", 0, "link fault: per-packet duplication probability [0,1]")
+	jitter = flag.Int64("jitter", 0, "link fault: max extra latency per packet (ns)")
 )
+
+// faultPlan translates the -drop/-dup/-jitter flags into a FaultPlan; the
+// zero plan disables injection (and the reliable protocol with it).
+func faultPlan() abcl.FaultPlan {
+	if *drop == 0 && *dup == 0 && *jitter == 0 {
+		return abcl.FaultPlan{}
+	}
+	return abcl.UniformFaults(*drop, *dup, abcl.Time(*jitter))
+}
+
+// sysOptions assembles the common System options from the flag set.
+func sysOptions() []abcl.Option {
+	opts := []abcl.Option{
+		abcl.WithNodes(*nodes),
+		abcl.WithPolicy(parsePolicy()),
+		abcl.WithPlacement(parsePlacement()),
+	}
+	if *seed != 0 {
+		opts = append(opts, abcl.WithSeed(*seed))
+	}
+	switch {
+	case *stock < 0:
+		opts = append(opts, abcl.WithoutChunkStock())
+	case *stock > 0:
+		opts = append(opts, abcl.WithChunkStock(*stock))
+	}
+	if *traceN > 0 {
+		opts = append(opts, abcl.WithTrace(*traceN))
+	}
+	if p := faultPlan(); p.Enabled() {
+		opts = append(opts, abcl.WithFaults(p))
+	}
+	return opts
+}
 
 func main() {
 	flag.Parse()
@@ -48,6 +101,8 @@ func main() {
 		err = runForkJoin()
 	case "diffusion":
 		err = runDiffusion()
+	case "scenario":
+		err = runScenarios()
 	default:
 		err = fmt.Errorf("unknown workload %q", *workload)
 	}
@@ -81,10 +136,7 @@ func parsePlacement() abcl.Placement {
 
 func runNQueens() error {
 	seq := nqueens.Sequential(*n, machine.DefaultConfig(1), 0)
-	sys, err := abcl.NewSystem(abcl.Config{
-		Nodes: *nodes, Policy: parsePolicy(), Placement: parsePlacement(),
-		Seed: *seed, StockDepth: *stock, TraceCapacity: *traceN,
-	})
+	sys, err := abcl.NewSystem(sysOptions()...)
 	if err != nil {
 		return err
 	}
@@ -148,7 +200,11 @@ func runPingPong() error {
 }
 
 func runForkJoin() error {
-	leaves, err := misc.RunForkJoin(*depth, *nodes, parsePolicy())
+	sys, err := abcl.NewSystem(sysOptions()...)
+	if err != nil {
+		return err
+	}
+	leaves, err := misc.RunForkJoinOn(sys, *depth)
 	if err != nil {
 		return err
 	}
@@ -161,6 +217,7 @@ func runDiffusion() error {
 	res, err := diffusion.Run(diffusion.Options{
 		W: *grid, H: *grid, Iters: *gridIters, Nodes: *nodes,
 		Policy: parsePolicy(), BlockPlace: *block,
+		Seed: *seed, Faults: faultPlan(),
 	})
 	if err != nil {
 		return err
@@ -175,6 +232,48 @@ func runDiffusion() error {
 	return nil
 }
 
+// runScenarios resolves -scenario (all bundled, one bundled by name, or a
+// JSON file) and executes each spec: fault-free baseline, faulted run,
+// assertions. A failed assertion fails the command.
+func runScenarios() error {
+	var specs []scenario.Spec
+	switch {
+	case *scen == "all":
+		var err error
+		if specs, err = scenario.Bundled(); err != nil {
+			return err
+		}
+	case strings.HasSuffix(*scen, ".json"):
+		sp, err := scenario.Load(*scen)
+		if err != nil {
+			return err
+		}
+		specs = []scenario.Spec{sp}
+	default:
+		sp, err := scenario.Find(*scen)
+		if err != nil {
+			return err
+		}
+		specs = []scenario.Spec{sp}
+	}
+	failed := 0
+	for _, sp := range specs {
+		o, err := scenario.Run(sp)
+		if err != nil {
+			return err
+		}
+		fmt.Print(o.Report())
+		if !o.OK() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(specs))
+	}
+	fmt.Printf("%d scenarios passed\n", len(specs))
+	return nil
+}
+
 func printStats(c abcl.Counters) {
 	fmt.Println("  runtime counters:")
 	fmt.Printf("    local msgs: dormant=%d active=%d restores=%d (dormant fraction %.0f%%)\n",
@@ -185,4 +284,10 @@ func printStats(c abcl.Counters) {
 		c.StockHits, c.StockMisses, c.FaultBuffered)
 	fmt.Printf("    scheduling queue: enq=%d deq=%d   preemptions=%d heap frames=%d\n",
 		c.SchedEnqueues, c.SchedDequeues, c.Preemptions, c.HeapFrames)
+	if c.RelSent > 0 || c.LinkDrops > 0 || c.NodePauses > 0 {
+		fmt.Printf("    faults: drops=%d dups=%d pauses=%d\n",
+			c.LinkDrops, c.LinkDups, c.NodePauses)
+		fmt.Printf("    reliable: sent=%d delivered=%d retransmits=%d dup-suppressed=%d held=%d lost=%d\n",
+			c.RelSent, c.RelDelivered, c.Retransmits, c.DupSuppressed, c.HeldOutOfOrder, c.LostMessages())
+	}
 }

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	sys, err := abcl.NewSystem(abcl.Config{Nodes: 4})
+	sys, err := abcl.NewSystem(abcl.WithNodes(4))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,7 +14,7 @@ import (
 func main() {
 	// A 4-node AP1000-flavoured machine with default scheduling (the
 	// paper's integrated stack/queue scheduler).
-	sys, err := abcl.NewSystem(abcl.Config{Nodes: 4})
+	sys, err := abcl.NewSystem(abcl.WithNodes(4))
 	if err != nil {
 		log.Fatal(err)
 	}

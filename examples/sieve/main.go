@@ -31,7 +31,7 @@ func main() {
 	nodes := flag.Int("nodes", 16, "processor count")
 	flag.Parse()
 
-	sys, err := abcl.NewSystem(abcl.Config{Nodes: *nodes, Placement: abcl.PlaceRoundRobin})
+	sys, err := abcl.NewSystem(abcl.WithNodes(*nodes), abcl.WithPlacement(abcl.PlaceRoundRobin))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -34,6 +34,8 @@ type Options struct {
 	Policy     abcl.Policy
 	WorkInstr  int  // modelled compute per cell update (default 40)
 	BlockPlace bool // true: block decomposition (locality); false: scatter
+	Seed       int64
+	Faults     abcl.FaultPlan
 }
 
 // Result reports a run.
@@ -75,7 +77,9 @@ func Run(opt Options) (Result, error) {
 		work = 40
 	}
 
-	sys, err := abcl.NewSystem(abcl.Config{Nodes: opt.Nodes, Policy: opt.Policy})
+	sys, err := abcl.NewSystemConfig(abcl.Config{
+		Nodes: opt.Nodes, Policy: opt.Policy, Seed: opt.Seed, Faults: opt.Faults,
+	})
 	if err != nil {
 		return Result{}, err
 	}

@@ -112,10 +112,20 @@ func BuildForkJoin(sys *abcl.System) *ForkJoin {
 // RunForkJoin builds a system, runs a fork-join tree of the given depth on
 // the given node count, and returns the leaf count (must be 2^depth).
 func RunForkJoin(depth, nodes int, policy abcl.Policy) (int64, error) {
-	sys, err := abcl.NewSystem(abcl.Config{Nodes: nodes, Policy: policy})
+	if nodes < 1 {
+		nodes = 1
+	}
+	sys, err := abcl.NewSystem(abcl.WithNodes(nodes), abcl.WithPolicy(policy))
 	if err != nil {
 		return 0, err
 	}
+	return RunForkJoinOn(sys, depth)
+}
+
+// RunForkJoinOn runs a fork-join tree of the given depth on an existing,
+// not-yet-run system (e.g. one built with fault injection enabled) and
+// returns the leaf count.
+func RunForkJoinOn(sys *abcl.System, depth int) (int64, error) {
 	fj := BuildForkJoin(sys)
 
 	done := sys.Pattern("fj.done", 1)

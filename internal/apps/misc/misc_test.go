@@ -7,7 +7,7 @@ import (
 )
 
 func TestCounter(t *testing.T) {
-	sys := abcl.MustNewSystem(abcl.Config{Nodes: 1})
+	sys := abcl.MustNewSystem(abcl.WithNodes(1))
 	cls, inc, add, get := BuildCounter(sys)
 
 	kick := sys.Pattern("t.kick", 0)
@@ -35,7 +35,7 @@ func TestCounter(t *testing.T) {
 }
 
 func TestCounterAcrossNodes(t *testing.T) {
-	sys := abcl.MustNewSystem(abcl.Config{Nodes: 4})
+	sys := abcl.MustNewSystem(abcl.WithNodes(4))
 	cls, inc, _, get := BuildCounter(sys)
 
 	kick := sys.Pattern("t.kick", 0)
@@ -74,7 +74,7 @@ func TestCounterAcrossNodes(t *testing.T) {
 }
 
 func TestBoundedBufferPutThenTake(t *testing.T) {
-	sys := abcl.MustNewSystem(abcl.Config{Nodes: 1})
+	sys := abcl.MustNewSystem(abcl.WithNodes(1))
 	bb := BuildBoundedBuffer(sys)
 
 	kick := sys.Pattern("t.kick", 0)
@@ -101,7 +101,7 @@ func TestBoundedBufferPutThenTake(t *testing.T) {
 
 func TestBoundedBufferTakeBeforePut(t *testing.T) {
 	// Consumer asks first; the buffer selectively waits for the put.
-	sys := abcl.MustNewSystem(abcl.Config{Nodes: 2})
+	sys := abcl.MustNewSystem(abcl.WithNodes(2))
 	bb := BuildBoundedBuffer(sys)
 
 	kickC := sys.Pattern("t.kickc", 0)
@@ -135,7 +135,7 @@ func TestBoundedBufferTakeBeforePut(t *testing.T) {
 
 func TestBoundedBufferOrdering(t *testing.T) {
 	// Multiple puts from one producer must be consumed in order.
-	sys := abcl.MustNewSystem(abcl.Config{Nodes: 1})
+	sys := abcl.MustNewSystem(abcl.WithNodes(1))
 	bb := BuildBoundedBuffer(sys)
 
 	kickP := sys.Pattern("t.kickp", 0)

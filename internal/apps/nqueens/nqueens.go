@@ -52,6 +52,7 @@ type Options struct {
 	StockDepth int // -1 disables the chunk stock
 	WorkFactor int // tenths of instructions per N^2; 0 = DefaultWorkFactor
 	MaxDepth   int // stack-depth bound; 0 = runtime default
+	Faults     abcl.FaultPlan
 }
 
 // Result reports one parallel run.
@@ -79,13 +80,14 @@ func Run(opt Options) (Result, error) {
 	if placement == nil {
 		placement = abcl.PlaceRandom
 	}
-	sys, err := abcl.NewSystem(abcl.Config{
+	sys, err := abcl.NewSystemConfig(abcl.Config{
 		Nodes:         opt.Nodes,
 		Policy:        opt.Policy,
 		Placement:     placement,
 		Seed:          opt.Seed,
 		StockDepth:    opt.StockDepth,
 		MaxStackDepth: opt.MaxDepth,
+		Faults:        opt.Faults,
 	})
 	if err != nil {
 		return Result{}, err

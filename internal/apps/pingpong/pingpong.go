@@ -21,7 +21,7 @@ type Result struct {
 // (Table 1 row 1): a driver repeatedly invokes a null method on a dormant
 // object on the same node.
 func PastLocal(iters int) (Result, error) {
-	sys, err := abcl.NewSystem(abcl.Config{Nodes: 1})
+	sys, err := abcl.NewSystem(abcl.WithNodes(1))
 	if err != nil {
 		return Result{}, err
 	}
@@ -55,7 +55,7 @@ func PastLocal(iters int) (Result, error) {
 // (Table 1 row 2): the receiver sends to itself, so every message after the
 // first is buffered and scheduled through the queue.
 func PastLocalActive(iters int) (Result, error) {
-	sys, err := abcl.NewSystem(abcl.Config{Nodes: 1})
+	sys, err := abcl.NewSystem(abcl.WithNodes(1))
 	if err != nil {
 		return Result{}, err
 	}
@@ -84,7 +84,7 @@ func PastLocalActive(iters int) (Result, error) {
 
 // CreateLocal measures intra-node object creation (Table 1 row 3).
 func CreateLocal(iters int) (Result, error) {
-	sys, err := abcl.NewSystem(abcl.Config{Nodes: 1})
+	sys, err := abcl.NewSystem(abcl.WithNodes(1))
 	if err != nil {
 		return Result{}, err
 	}
@@ -115,7 +115,7 @@ func CreateLocal(iters int) (Result, error) {
 // between two objects" on adjacent nodes, both dormant at reception.
 // Per-op time is the one-way latency.
 func PastRemote(iters int) (Result, error) {
-	sys, err := abcl.NewSystem(abcl.Config{Nodes: 2})
+	sys, err := abcl.NewSystem(abcl.WithNodes(2))
 	if err != nil {
 		return Result{}, err
 	}
@@ -149,7 +149,7 @@ func PastRemote(iters int) (Result, error) {
 // NowRemote measures the inter-node request-reply cycle of Table 3: a
 // now-type message to a remote object that replies immediately.
 func NowRemote(iters int) (Result, error) {
-	sys, err := abcl.NewSystem(abcl.Config{Nodes: 2})
+	sys, err := abcl.NewSystem(abcl.WithNodes(2))
 	if err != nil {
 		return Result{}, err
 	}

@@ -5,9 +5,11 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/parexec"
 	"repro/internal/remote"
+	"repro/internal/sim"
 )
 
 // runDES executes the program on the discrete-event simulator.
@@ -131,6 +133,52 @@ func TestStockDepthIsFunctionallyInvisible(t *testing.T) {
 		without := run(seed, 0)
 		if with.Sum != without.Sum || with.Creations != without.Creations {
 			t.Errorf("seed %d: stock changed results: %+v vs %+v", seed, with, without)
+		}
+	}
+}
+
+func TestFaultsAreFunctionallyInvisible(t *testing.T) {
+	// A lossy interconnect under the reliable-delivery protocol changes
+	// timing and packet counts, never results: every generated program
+	// reaches quiescence with the same sums and creations as its
+	// fault-free run, and no message is lost.
+	run := func(seed int64, nodes int, plan fault.Plan) Expected {
+		p := Generate(seed, nodes)
+		p.Reset()
+		m, err := machine.New(machine.DefaultConfig(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reliable := plan.Enabled()
+		if reliable {
+			inj, err := fault.NewInjector(plan, seed, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.SetFaults(inj)
+		}
+		rt := core.NewRuntime(m, core.Options{})
+		remote.Attach(rt, remote.Options{
+			StockDepth: 2, Placement: remote.RoundRobin{}, Seed: 1, Reliable: reliable,
+		})
+		inject := p.Build(rt)
+		inject()
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if c := rt.TotalStats(); c.LostMessages() != 0 || c.RelAbandoned != 0 {
+			t.Errorf("seed %d: lost=%d abandoned=%d", seed, c.LostMessages(), c.RelAbandoned)
+		}
+		return p.Observe(rt)
+	}
+	plan := fault.UniformLinks(0.10, 0.05, 2*sim.Microsecond)
+	for seed := int64(1); seed <= seeds; seed++ {
+		nodes := 2 + int(seed)%6
+		clean := run(seed, nodes, fault.Plan{})
+		faulted := run(seed, nodes, plan)
+		if clean != faulted {
+			t.Errorf("seed %d (%d nodes): faults changed results: %+v vs %+v",
+				seed, nodes, clean, faulted)
 		}
 	}
 }

@@ -86,6 +86,44 @@ func (c Config) InstrTime(instr int) sim.Time {
 	return sim.Time(float64(instr)*c.NsPerInstr() + 0.5)
 }
 
+// FaultModel injects interconnect and node faults into the machine. The
+// model must be deterministic: two runs that present the same sequence of
+// calls must return the same answers (package fault provides a seed-driven
+// implementation). A nil model means a perfectly reliable machine.
+type FaultModel interface {
+	// Link is consulted once per packet transmission and returns the extra
+	// latency of every physical copy to deliver. A one-element slice {0} is
+	// normal delivery; an empty slice drops the packet; more than one
+	// element duplicates it, each copy with its own extra latency.
+	Link(src, dst int, at sim.Time, size int) []sim.Time
+	// PausedUntil reports the virtual time until which node is paused at
+	// time at. A result <= at means the node is running normally. Pauses
+	// take effect at turn boundaries: a turn already under way completes.
+	PausedUntil(node int, at sim.Time) sim.Time
+}
+
+// FaultSink observes injected faults, so the runtime above can account them
+// in its counters and trace. All callbacks run on the simulation goroutine.
+type FaultSink interface {
+	PacketDropped(src, dst int, at sim.Time, category int)
+	PacketDuplicated(src, dst int, at sim.Time, category int)
+	NodePaused(node int, at, until sim.Time)
+}
+
+// SetFaults installs a fault model. Call before Run; a nil model restores
+// perfect reliability.
+func (m *Machine) SetFaults(f FaultModel) { m.faults = f }
+
+// Faults returns the installed fault model (nil when the machine is
+// perfectly reliable).
+func (m *Machine) Faults() FaultModel { return m.faults }
+
+// SetFaultSink installs a fault observer.
+func (m *Machine) SetFaultSink(s FaultSink) { m.faultSink = s }
+
+// FaultSink returns the installed fault observer, if any.
+func (m *Machine) FaultSink() FaultSink { return m.faultSink }
+
 // Packet is a self-dispatching message in the Active Message style: the
 // sender attaches the handler that runs on the receiving node when the
 // packet is polled. Payload is opaque to the machine layer.
@@ -93,9 +131,18 @@ type Packet struct {
 	Src, Dst int
 	Size     int // bytes, for bandwidth modelling
 	Arrival  sim.Time
-	Category int // handler category 1-4 (for statistics only)
+	Category int // handler category 1-5 (for statistics only)
 	Handler  func(n *Node, p *Packet)
 	Payload  any
+
+	// OnArrive, if set, runs in engine context the moment the packet
+	// reaches the destination's message controller — before the software
+	// handler is scheduled, and regardless of how backlogged or paused the
+	// receiving processor is. It models hardware-level actions such as
+	// transport acknowledgments. A packet with OnArrive set and a nil
+	// Handler is consumed entirely at the controller and never enters the
+	// receive queue.
+	OnArrive func(n *Node, p *Packet)
 }
 
 // Runner is the per-node scheduler installed by the language runtime.
@@ -120,10 +167,12 @@ type Node struct {
 	inResume      bool
 
 	// Counters.
-	InstrCount   uint64
-	PacketsSent  uint64
-	PacketsRecvd uint64
-	BytesSent    uint64
+	InstrCount     uint64
+	PacketsSent    uint64
+	PacketsRecvd   uint64
+	BytesSent      uint64
+	PacketsDropped uint64 // transmissions lost to injected link faults
+	PacketsDuped   uint64 // extra copies injected by link faults
 }
 
 // Machine is the full multicomputer: an event engine plus nodes and the
@@ -135,9 +184,14 @@ type Machine struct {
 
 	nsPerInstr float64
 
+	faults    FaultModel
+	faultSink FaultSink
+
 	// Global counters.
 	TotalPackets uint64
 	TotalBytes   uint64
+	TotalDropped uint64 // packets lost to injected link faults
+	TotalDuped   uint64 // extra packet copies injected by link faults
 }
 
 // New builds a machine from cfg. It validates the topology against the node
@@ -252,6 +306,14 @@ func (n *Node) ChargeNs(d sim.Time) {
 	n.Busy += d
 }
 
+// SyncClock advances the node's clock to at least t without accruing busy
+// time, modelling idle waiting (e.g. a timer expiring on an idle node).
+func (n *Node) SyncClock(t sim.Time) {
+	if n.Clock < t {
+		n.Clock = t
+	}
+}
+
 // Hops returns the routing distance from this node to dst.
 func (n *Node) Hops(dst int) int {
 	return n.m.Cfg.Topology.Hops(n.ID, dst)
@@ -262,31 +324,97 @@ func (n *Node) Hops(dst int) int {
 // model, and per-(src,dst) FIFO ordering is enforced (the paper's
 // "preservation of transmission order"). Software send cost must already
 // have been charged by the caller.
-func (n *Node) Send(p *Packet) {
+// Send returns the scheduled arrival time of the first physical copy, or
+// Dropped if the fault model discarded the packet. Callers that assume a
+// reliable interconnect may ignore the result.
+func (n *Node) Send(p *Packet) sim.Time {
+	return n.sendAt(n.Clock, p)
+}
+
+// ControllerSend transmits p on behalf of the node's message controller at
+// virtual time at, independent of the processor's clock. It models
+// hardware-originated traffic (e.g. transport acknowledgments) that does
+// not occupy the CPU: no software cost is charged and the processor may be
+// busy or paused. The fault model and FIFO clamp still apply.
+func (n *Node) ControllerSend(at sim.Time, p *Packet) sim.Time {
+	return n.sendAt(at, p)
+}
+
+func (n *Node) sendAt(at sim.Time, p *Packet) sim.Time {
 	if p.Dst < 0 || p.Dst >= len(n.m.nodes) {
 		panic(fmt.Sprintf("machine: send to invalid node %d", p.Dst))
 	}
 	p.Src = n.ID
 	dst := n.m.nodes[p.Dst]
 	hops := n.m.Cfg.Topology.Hops(n.ID, p.Dst)
-	arrival := n.Clock + n.m.Cfg.Net.Latency(hops, p.Size)
-	if last := dst.lastArrival[n.ID]; arrival <= last {
-		arrival = last + 1
-	}
-	dst.lastArrival[n.ID] = arrival
-	p.Arrival = arrival
+	base := n.m.Cfg.Net.Latency(hops, p.Size)
 
 	n.PacketsSent++
 	n.BytesSent += uint64(p.Size)
 	n.m.TotalPackets++
 	n.m.TotalBytes += uint64(p.Size)
 
-	n.m.Eng.Schedule(arrival, func() { dst.deliver(p) })
+	// Consult the fault model: one extra-latency entry per physical copy.
+	copies := oneCopy
+	if n.m.faults != nil {
+		copies = n.m.faults.Link(n.ID, p.Dst, at, p.Size)
+	}
+	if len(copies) == 0 {
+		n.PacketsDropped++
+		n.m.TotalDropped++
+		if n.m.faultSink != nil {
+			n.m.faultSink.PacketDropped(n.ID, p.Dst, at, p.Category)
+		}
+		return Dropped
+	}
+	first := Dropped
+	for i, extra := range copies {
+		cp := p
+		if i > 0 {
+			dup := *p
+			cp = &dup
+			n.PacketsDuped++
+			n.m.TotalDuped++
+			if n.m.faultSink != nil {
+				n.m.faultSink.PacketDuplicated(n.ID, p.Dst, at, p.Category)
+			}
+		}
+		arrival := at + base + extra
+		// Per-(src,dst) FIFO ordering is enforced per copy (the paper's
+		// "preservation of transmission order"): jitter delays but never
+		// reorders a link; only drop+retransmit can reorder logically.
+		if last := dst.lastArrival[n.ID]; arrival <= last {
+			arrival = last + 1
+		}
+		dst.lastArrival[n.ID] = arrival
+		cp.Arrival = arrival
+		if i == 0 {
+			first = arrival
+		}
+		d := cp
+		n.m.Eng.Schedule(arrival, func() { dst.deliver(d) })
+	}
+	return first
 }
 
-// deliver runs at the packet's arrival time on the engine: the packet joins
-// the node's receive queue and the node is woken if idle.
+// Dropped is returned by Send when the fault model discarded the packet.
+const Dropped = sim.Time(-1)
+
+// oneCopy is the fault-free delivery schedule, shared to keep the common
+// path allocation-free.
+var oneCopy = []sim.Time{0}
+
+// deliver runs at the packet's arrival time on the engine: the message
+// controller hook fires first, then the packet joins the node's receive
+// queue and the node is woken if idle. Controller-only packets (OnArrive
+// set, nil Handler) never reach the processor.
 func (n *Node) deliver(p *Packet) {
+	if p.OnArrive != nil {
+		p.OnArrive(n, p)
+		if p.Handler == nil {
+			return
+		}
+	}
 	if n.Clock < p.Arrival {
 		n.Clock = p.Arrival
 	}
@@ -314,6 +442,26 @@ func (n *Node) ensureResume() {
 // progress correctly in virtual time.
 func (n *Node) resume() {
 	n.resumePending = false
+	if f := n.m.faults; f != nil {
+		now := n.m.Eng.Now()
+		if until := f.PausedUntil(n.ID, now); until > now {
+			// The node is inside an injected pause window: defer this turn
+			// to the window's end. Arriving packets keep buffering in rx.
+			if n.m.faultSink != nil {
+				n.m.faultSink.NodePaused(n.ID, now, until)
+			}
+			n.resumePending = true
+			n.m.Eng.Schedule(until, func() {
+				// The pause consumed real (virtual) time on this node, but
+				// no busy time: advance the clock without accruing work.
+				if n.Clock < until {
+					n.Clock = until
+				}
+				n.resume()
+			})
+			return
+		}
+	}
 	n.inResume = true
 	n.Poll()
 	more := false

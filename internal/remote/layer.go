@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Handler categories (Section 5.1), recorded on packets for statistics.
@@ -13,6 +15,7 @@ const (
 	CatCreate  = 2 // request for remote object creation
 	CatChunk   = 3 // reply to remote memory allocation request
 	CatService = 4 // other services (load info is piggybacked instead)
+	CatAck     = 5 // reliable-delivery acknowledgment (not in the paper)
 )
 
 // packetHeaderBytes models the paper's compact message format: "a total of
@@ -33,7 +36,38 @@ type Options struct {
 	// Seed initializes the deterministic per-node generators used by
 	// randomized placement policies.
 	Seed int64
+
+	// Reliable enables the acknowledgment/retry protocol: every inter-node
+	// packet carries a per-link sequence number, is retransmitted with
+	// exponential backoff until acknowledged, and is deduplicated and
+	// delivered in per-link FIFO order at the receiver. Required when the
+	// machine injects link faults; off by default because the paper's
+	// AP1000 interconnect is reliable and the protocol adds ack traffic.
+	Reliable bool
+	// RetryTimeout is the base acknowledgment timeout before the first
+	// retransmission; it doubles per attempt up to MaxBackoff. Zero selects
+	// DefaultRetryTimeout.
+	RetryTimeout sim.Time
+	// MaxBackoff caps the exponential backoff. Zero selects
+	// DefaultMaxBackoff.
+	MaxBackoff sim.Time
+	// MaxAttempts bounds retransmissions per message; beyond it the message
+	// is abandoned (counted in Counters.RelAbandoned, never silently).
+	// Zero selects DefaultMaxAttempts.
+	MaxAttempts int
+	// Trace, when non-nil, receives reliable-delivery events (retries,
+	// acks, duplicate suppression, reorder holds).
+	Trace *trace.Ring
 }
+
+// Reliable-delivery protocol defaults. The base timeout covers a small
+// message's round trip (~2×1.5µs hardware + ~9µs software each way) with
+// headroom for queueing at a loaded receiver.
+const (
+	DefaultRetryTimeout sim.Time = 60 * sim.Microsecond
+	DefaultMaxBackoff   sim.Time = 2 * sim.Millisecond
+	DefaultMaxAttempts           = 64
+)
 
 // DefaultOptions returns the configuration used by the paper-style runs.
 func DefaultOptions() Options {
@@ -47,6 +81,7 @@ type Layer struct {
 	m     *machine.Machine
 	opt   Options
 	nodes []*nodeState
+	rel   *reliable // nil unless Options.Reliable
 
 	// Counters (whole machine).
 	MsgsSent    uint64 // category 1
@@ -103,8 +138,55 @@ func Attach(rt *core.Runtime, opt Options) *Layer {
 			loads:  make([]int32, rt.Nodes()),
 		}
 	}
+	if opt.Reliable {
+		l.rel = newReliable(l)
+	}
+	if rt.M.Faults() != nil && rt.M.FaultSink() == nil {
+		rt.M.SetFaultSink(statsSink{l})
+	}
 	rt.SetRemote(l)
 	return l
+}
+
+// statsSink attributes machine-level fault events to the affected node's
+// counters and the trace ring. Drops and duplications are charged to the
+// sending node; pauses to the paused node.
+type statsSink struct{ l *Layer }
+
+func (s statsSink) PacketDropped(src, dst int, at sim.Time, category int) {
+	s.l.rt.NodeRT(src).C.LinkDrops++
+	s.l.tracef(at, src, trace.EvLinkDrop, "dropped cat-%d packet to n%d", category, dst)
+}
+
+func (s statsSink) PacketDuplicated(src, dst int, at sim.Time, category int) {
+	s.l.rt.NodeRT(src).C.LinkDups++
+	s.l.tracef(at, src, trace.EvLinkDup, "duplicated cat-%d packet to n%d", category, dst)
+}
+
+func (s statsSink) NodePaused(node int, at, until sim.Time) {
+	s.l.rt.NodeRT(node).C.NodePauses++
+	s.l.tracef(at, node, trace.EvNodePause, "paused until %v", until)
+}
+
+// transmit sends a packet either directly over the machine's interconnect
+// or, when the reliable protocol is enabled, through the ack/retry layer.
+// All inter-node traffic of the layer (categories 1-4) funnels through here.
+func (l *Layer) transmit(mn *machine.Node, pkt *machine.Packet) {
+	if l.rel != nil {
+		l.rel.send(mn, pkt)
+		return
+	}
+	mn.Send(pkt)
+}
+
+// Reliable reports whether the ack/retry protocol is active.
+func (l *Layer) Reliable() bool { return l.rel != nil }
+
+// tracef records a reliable-delivery event when tracing is enabled.
+func (l *Layer) tracef(at sim.Time, node int, kind trace.Kind, format string, args ...any) {
+	if l.opt.Trace != nil {
+		l.opt.Trace.Addf(at, node, kind, format, args...)
+	}
 }
 
 // Placement returns the active placement policy.
@@ -141,7 +223,7 @@ func (l *Layer) SendMessage(n *core.NodeRT, to core.Address, p core.PatternID, a
 	}
 	load := l.piggyback(n.ID())
 	src := n.ID()
-	n.MachineNode().Send(&machine.Packet{
+	l.transmit(n.MachineNode(), &machine.Packet{
 		Dst:      to.Node,
 		Size:     size,
 		Category: CatMessage,
@@ -222,7 +304,7 @@ func (l *Layer) sendCreateRequest(n *core.NodeRT, target int, chunk *core.Object
 	l.CreatesSent++
 	src := n.ID()
 	load := l.piggyback(src)
-	n.MachineNode().Send(&machine.Packet{
+	l.transmit(n.MachineNode(), &machine.Packet{
 		Dst:      target,
 		Size:     packetHeaderBytes + 8 + core.ArgsSize(ctorArgs),
 		Category: CatCreate,
@@ -248,7 +330,7 @@ func (l *Layer) sendBlockingCreate(n *core.NodeRT, target int, cl *core.Class, c
 	l.CreatesSent++
 	src := n.ID()
 	load := l.piggyback(src)
-	n.MachineNode().Send(&machine.Packet{
+	l.transmit(n.MachineNode(), &machine.Packet{
 		Dst:      target,
 		Size:     packetHeaderBytes + core.ArgsSize(ctorArgs),
 		Category: CatCreate,
@@ -275,7 +357,7 @@ func (l *Layer) sendChunkReply(n *core.NodeRT, requester int, chunk *core.Object
 	l.ChunksSent++
 	src := n.ID()
 	load := l.piggyback(src)
-	n.MachineNode().Send(&machine.Packet{
+	l.transmit(n.MachineNode(), &machine.Packet{
 		Dst:      requester,
 		Size:     packetHeaderBytes + 8,
 		Category: CatChunk,

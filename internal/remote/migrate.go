@@ -49,7 +49,7 @@ func (l *Layer) Migrate(obj *core.Object, target int, onDone func(core.Address))
 
 	size := packetHeaderBytes + image.SizeBytes()
 	load := l.piggyback(src)
-	n.MachineNode().Send(&machine.Packet{
+	l.transmit(n.MachineNode(), &machine.Packet{
 		Dst:      target,
 		Size:     size,
 		Category: CatService,
@@ -65,7 +65,7 @@ func (l *Layer) Migrate(obj *core.Object, target int, onDone func(core.Address))
 			// Ack with the new address; the owner installs the forwarder.
 			tn.MachineNode().Charge(c.RemoteSendSetup)
 			ackLoad := l.piggyback(mn.ID)
-			tn.MachineNode().Send(&machine.Packet{
+			l.transmit(tn.MachineNode(), &machine.Packet{
 				Dst:      src,
 				Size:     packetHeaderBytes + 8,
 				Category: CatService,

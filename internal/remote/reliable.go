@@ -1,0 +1,302 @@
+package remote
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Reliable delivery over a faulty interconnect.
+//
+// The paper assumes the AP1000's hardware delivers every packet exactly once
+// and in per-link FIFO order, and the whole runtime above (message
+// transmission, chunk-stock refill, reply delivery, migration) leans on that
+// guarantee. When the machine injects link faults, this file restores the
+// same contract in software so no method-body code changes:
+//
+//   - every data packet (categories 1-4) carries a per-(src,dst) sequence
+//     number (relHeaderBytes on the wire);
+//   - the sender keeps the packet until acknowledged, retransmitting on an
+//     exponential-backoff timer in virtual time;
+//   - the receiver acknowledges every copy it sees, suppresses duplicates,
+//     and holds out-of-order arrivals until the gap fills, delivering
+//     strictly in sequence order per link.
+//
+// Acks are plain packets (category 5) outside the protocol: a lost ack is
+// repaired by the data retransmission it fails to cancel, and a duplicated
+// ack is idempotent at the sender. In-order delivery means the handlers
+// above observe exactly the fault-free machine's semantics — only timing
+// and packet counts differ.
+
+// relHeaderBytes models the sequence number + flags added to every reliable
+// data packet.
+const relHeaderBytes = 8
+
+// ackBytes is the wire size of an acknowledgment packet.
+const ackBytes = packetHeaderBytes + 8
+
+// relMsg is one unacknowledged in-flight message at its sender.
+type relMsg struct {
+	dst      int
+	seq      uint64
+	size     int // wire size including relHeaderBytes
+	category int
+	inner    func(*machine.Node, *machine.Packet)
+	attempts int
+	acked    bool
+	timer    *sim.Timer
+}
+
+// relSender is the per-node sending half: sequence counters and the
+// retransmission buffer.
+type relSender struct {
+	nextSeq []uint64             // per destination
+	pending []map[uint64]*relMsg // per destination: seq -> in-flight message
+}
+
+// relReceiver is the per-node receiving half: per-source cursor and reorder
+// buffer.
+type relReceiver struct {
+	nextExpected []uint64                   // per source
+	held         []map[uint64]*heldDelivery // per source: seq -> waiting copy
+}
+
+type heldDelivery struct {
+	inner func(*machine.Node, *machine.Packet)
+	pkt   *machine.Packet
+}
+
+// reliable is the machine-wide protocol state (one instance per Layer; all
+// access happens on the simulation goroutine).
+type reliable struct {
+	l           *Layer
+	rto         sim.Time
+	maxBackoff  sim.Time
+	maxAttempts int
+	senders     []*relSender
+	receivers   []*relReceiver
+}
+
+func newReliable(l *Layer) *reliable {
+	n := l.rt.Nodes()
+	r := &reliable{
+		l:           l,
+		rto:         l.opt.RetryTimeout,
+		maxBackoff:  l.opt.MaxBackoff,
+		maxAttempts: l.opt.MaxAttempts,
+		senders:     make([]*relSender, n),
+		receivers:   make([]*relReceiver, n),
+	}
+	if r.rto <= 0 {
+		r.rto = DefaultRetryTimeout
+	}
+	if r.maxBackoff < r.rto {
+		r.maxBackoff = DefaultMaxBackoff
+	}
+	if r.maxAttempts <= 0 {
+		r.maxAttempts = DefaultMaxAttempts
+	}
+	for i := 0; i < n; i++ {
+		r.senders[i] = &relSender{
+			nextSeq: make([]uint64, n),
+			pending: make([]map[uint64]*relMsg, n),
+		}
+		r.receivers[i] = &relReceiver{
+			nextExpected: make([]uint64, n),
+			held:         make([]map[uint64]*heldDelivery, n),
+		}
+	}
+	return r
+}
+
+// send assigns the next sequence number on the (src, dst) link, records the
+// message as in-flight, and transmits the first copy. Same-node packets (the
+// machine would loop them back untouched) skip the protocol.
+func (r *reliable) send(mn *machine.Node, pkt *machine.Packet) {
+	src, dst := mn.ID, pkt.Dst
+	if src == dst {
+		mn.Send(pkt)
+		return
+	}
+	s := r.senders[src]
+	seq := s.nextSeq[dst]
+	s.nextSeq[dst]++
+	m := &relMsg{
+		dst:      dst,
+		seq:      seq,
+		size:     pkt.Size + relHeaderBytes,
+		category: pkt.Category,
+		inner:    pkt.Handler,
+	}
+	if s.pending[dst] == nil {
+		s.pending[dst] = make(map[uint64]*relMsg)
+	}
+	s.pending[dst][seq] = m
+	r.l.rt.NodeRT(src).C.RelSent++
+	r.xmit(mn, m)
+}
+
+// xmit transmits one copy of m and arms the retransmission timer for the
+// current attempt.
+func (r *reliable) xmit(mn *machine.Node, m *relMsg) {
+	src := mn.ID
+	seq := m.seq
+	arrival := mn.Send(&machine.Packet{
+		Dst:      m.dst,
+		Size:     m.size,
+		Category: m.category,
+		// The receiving message controller acknowledges every physical
+		// copy the instant it arrives, independent of how backlogged or
+		// paused the receiving processor is.
+		OnArrive: func(rn *machine.Node, p *machine.Packet) {
+			r.sendAck(rn, src, seq, p.Arrival)
+		},
+		Handler: func(rn *machine.Node, p *machine.Packet) {
+			r.receive(rn, src, seq, m.inner, p)
+		},
+	})
+	backoff := r.rto << uint(m.attempts)
+	if backoff > r.maxBackoff || backoff <= 0 {
+		backoff = r.maxBackoff
+	}
+	// Time out relative to the copy's scheduled arrival (which includes
+	// link queueing), not the send instant — a congested link must not
+	// trigger spurious retransmissions. A dropped copy times out from now.
+	delay := backoff
+	if now := r.l.m.Eng.Now(); arrival > now {
+		delay += arrival - now
+	}
+	m.timer = r.l.m.Eng.AfterTimer(delay, func() { r.retry(mn, m) })
+}
+
+// retry fires when the ack timer expires: retransmit with backoff, or
+// abandon the message past the attempt limit.
+func (r *reliable) retry(mn *machine.Node, m *relMsg) {
+	if m.acked {
+		return
+	}
+	c := &r.l.rt.NodeRT(mn.ID).C
+	if m.attempts+1 >= r.maxAttempts {
+		// Give up loudly: the message counts as lost so scenario assertions
+		// and LostMessages() surface it.
+		c.RelAbandoned++
+		delete(r.senders[mn.ID].pending[m.dst], m.seq)
+		r.l.tracef(r.l.m.Eng.Now(), mn.ID, trace.EvRetry,
+			"abandon seq %d to n%d after %d attempts", m.seq, m.dst, r.maxAttempts)
+		return
+	}
+	m.attempts++
+	c.Retransmits++
+	// The timer expired on a possibly idle node: bring its clock up to the
+	// timeout instant, then charge the software cost of the retransmission.
+	mn.SyncClock(r.l.m.Eng.Now())
+	mn.Charge(r.l.cost().RemoteSendSetup)
+	r.l.tracef(mn.Now(), mn.ID, trace.EvRetry,
+		"retransmit seq %d to n%d (attempt %d)", m.seq, m.dst, m.attempts+1)
+	r.xmit(mn, m)
+}
+
+// receive runs at the receiver for every delivered copy of a data packet:
+// always acknowledge, suppress duplicates, and deliver in sequence order.
+func (r *reliable) receive(rn *machine.Node, src int, seq uint64, inner func(*machine.Node, *machine.Packet), pkt *machine.Packet) {
+	rv := r.receivers[rn.ID]
+	c := &r.l.rt.NodeRT(rn.ID).C
+
+	next := rv.nextExpected[src]
+	switch {
+	case seq < next:
+		c.DupSuppressed++
+		r.l.tracef(rn.Now(), rn.ID, trace.EvDupMsg, "drop dup seq %d from n%d", seq, src)
+		return
+	case seq == next:
+		r.deliver(rn, c, inner, pkt)
+		rv.nextExpected[src]++
+		// Flush any consecutive held messages the gap was blocking.
+		held := rv.held[src]
+		for held != nil {
+			h, ok := held[rv.nextExpected[src]]
+			if !ok {
+				break
+			}
+			delete(held, rv.nextExpected[src])
+			r.deliver(rn, c, h.inner, h.pkt)
+			rv.nextExpected[src]++
+		}
+	default: // seq > next: a gap — hold for in-order delivery
+		if rv.held[src] == nil {
+			rv.held[src] = make(map[uint64]*heldDelivery)
+		}
+		if _, dup := rv.held[src][seq]; dup {
+			c.DupSuppressed++
+			r.l.tracef(rn.Now(), rn.ID, trace.EvDupMsg, "drop dup held seq %d from n%d", seq, src)
+			return
+		}
+		rv.held[src][seq] = &heldDelivery{inner: inner, pkt: pkt}
+		c.HeldOutOfOrder++
+		r.l.tracef(rn.Now(), rn.ID, trace.EvHold,
+			"hold seq %d from n%d (awaiting %d)", seq, src, next)
+	}
+}
+
+// deliver hands one in-order message to its attached handler.
+func (r *reliable) deliver(rn *machine.Node, c *stats.Counters, inner func(*machine.Node, *machine.Packet), pkt *machine.Packet) {
+	c.RelDelivered++
+	inner(rn, pkt)
+}
+
+// sendAck transmits a category-5 acknowledgment for (src link, seq) back to
+// the sender. Acks are generated and consumed by the message controllers —
+// they occupy wire bandwidth but no processor time — and ride the faulty
+// interconnect unprotected: a lost ack is repaired by the data
+// retransmission it fails to cancel, a duplicated ack is idempotent.
+func (r *reliable) sendAck(rn *machine.Node, src int, seq uint64, at sim.Time) {
+	rcv := rn.ID
+	r.l.rt.NodeRT(rcv).C.AcksSent++
+	rn.ControllerSend(at, &machine.Packet{
+		Dst:      src,
+		Size:     ackBytes,
+		Category: CatAck,
+		OnArrive: func(sn *machine.Node, p *machine.Packet) {
+			r.ackReceived(sn, rcv, seq)
+		},
+	})
+}
+
+// ackReceived runs at the sender's message controller: it marks (dst, seq)
+// delivered and cancels the retransmission timer. Duplicate and stale acks
+// are idempotent.
+func (r *reliable) ackReceived(sn *machine.Node, dst int, seq uint64) {
+	s := r.senders[sn.ID]
+	pending := s.pending[dst]
+	m := pending[seq]
+	if m == nil || m.acked {
+		return
+	}
+	m.acked = true
+	if m.timer != nil {
+		m.timer.Stop()
+	}
+	delete(pending, seq)
+	r.l.tracef(r.l.m.Eng.Now(), sn.ID, trace.EvAck, "acked seq %d by n%d", seq, dst)
+}
+
+// Unacked reports the number of in-flight (sent but unacknowledged)
+// messages across all nodes — zero at quiescence unless messages were
+// abandoned.
+func (r *reliable) Unacked() int {
+	total := 0
+	for _, s := range r.senders {
+		for _, p := range s.pending {
+			total += len(p)
+		}
+	}
+	return total
+}
+
+// String describes the protocol configuration.
+func (r *reliable) String() string {
+	return fmt.Sprintf("reliable{rto=%v maxBackoff=%v maxAttempts=%d}", r.rto, r.maxBackoff, r.maxAttempts)
+}

@@ -1,0 +1,312 @@
+// Package scenario executes declarative fault-injection scenarios: a JSON
+// spec names a workload, a fleet size, a fault schedule (link drop /
+// duplication / jitter rules and node pause windows) and assertions. The
+// runner executes the workload twice with the same seed — once on a
+// fault-free machine, once under the declared faults — and checks that the
+// faulted run reaches quiescence, computes the same answer, loses no
+// messages, and satisfies the spec's extra assertions.
+//
+// The format is intentionally small and declarative (compare the fleet /
+// events / assertions scenario files of distributed-system simulators):
+// everything a scenario can express is reproducible from (spec, seed)
+// alone.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	abcl "repro"
+	"repro/internal/apps/diffusion"
+	"repro/internal/apps/misc"
+	"repro/internal/apps/nqueens"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Link is one link-fault rule. Src/Dst -1 — the default when omitted —
+// matches any node; the first matching rule wins.
+type Link struct {
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	Drop   float64 `json:"drop,omitempty"`
+	Dup    float64 `json:"dup,omitempty"`
+	Jitter int64   `json:"jitter_ns,omitempty"`
+}
+
+// UnmarshalJSON defaults omitted src/dst to the wildcard.
+func (l *Link) UnmarshalJSON(data []byte) error {
+	type raw Link
+	r := raw{Src: abcl.Wildcard, Dst: abcl.Wildcard}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return err
+	}
+	*l = Link(r)
+	return nil
+}
+
+// Pause suspends one node's processor for a virtual-time window.
+type Pause struct {
+	Node int   `json:"node"`
+	At   int64 `json:"at_ns"`
+	For  int64 `json:"for_ns"`
+}
+
+// Faults is the declarative fault schedule of a scenario.
+type Faults struct {
+	Links  []Link  `json:"links,omitempty"`
+	Pauses []Pause `json:"pauses,omitempty"`
+}
+
+// Plan translates the schedule into a FaultPlan.
+func (f Faults) Plan() abcl.FaultPlan {
+	var p abcl.FaultPlan
+	for _, l := range f.Links {
+		p.Links = append(p.Links, abcl.LinkFault{
+			Src: l.Src, Dst: l.Dst,
+			Drop: l.Drop, Dup: l.Dup, Jitter: sim.Time(l.Jitter),
+		})
+	}
+	for _, pa := range f.Pauses {
+		p.Pauses = append(p.Pauses, abcl.NodePause{
+			Node: pa.Node, At: sim.Time(pa.At), For: sim.Time(pa.For),
+		})
+	}
+	return p
+}
+
+// Assert lists the optional assertions of a scenario. Quiescence, an
+// answer identical to the fault-free baseline, zero lost messages and zero
+// abandoned messages are always checked — they are the point of the
+// reliable-delivery subsystem, not an option.
+type Assert struct {
+	// MinRetries requires at least this many retransmissions (proof the
+	// faults actually bit).
+	MinRetries uint64 `json:"min_retries,omitempty"`
+	// MinDrops requires at least this many injected link drops.
+	MinDrops uint64 `json:"min_drops,omitempty"`
+	// MinDupSuppressed requires at least this many suppressed duplicates.
+	MinDupSuppressed uint64 `json:"min_dup_suppressed,omitempty"`
+	// MinPauses requires at least this many node-pause activations.
+	MinPauses uint64 `json:"min_pauses,omitempty"`
+	// MaxSlowdown bounds faulted elapsed time as a multiple of the
+	// baseline's (0 = unchecked).
+	MaxSlowdown float64 `json:"max_slowdown,omitempty"`
+}
+
+// Spec is one declarative scenario.
+type Spec struct {
+	Name     string `json:"name"`
+	Workload string `json:"workload"` // nqueens | forkjoin | diffusion
+	Nodes    int    `json:"nodes"`
+	Seed     int64  `json:"seed,omitempty"`
+
+	// Workload parameters (each workload reads its own).
+	N     int `json:"n,omitempty"`     // nqueens board size
+	Depth int `json:"depth,omitempty"` // forkjoin tree depth
+	Grid  int `json:"grid,omitempty"`  // diffusion grid edge
+	Iters int `json:"iters,omitempty"` // diffusion iterations
+
+	Faults Faults `json:"faults"`
+	Assert Assert `json:"assert"`
+}
+
+// Validate rejects malformed specs before anything runs.
+func (sp Spec) Validate() error {
+	if sp.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if sp.Nodes < 1 {
+		return fmt.Errorf("scenario %s: nodes must be >= 1", sp.Name)
+	}
+	switch sp.Workload {
+	case "nqueens", "forkjoin", "diffusion":
+	default:
+		return fmt.Errorf("scenario %s: unknown workload %q", sp.Name, sp.Workload)
+	}
+	return sp.Faults.Plan().Validate(sp.Nodes)
+}
+
+// RunResult is one execution of the scenario's workload.
+type RunResult struct {
+	Answer  string // canonical workload answer, comparable across runs
+	Elapsed sim.Time
+	Packets uint64
+	Stats   stats.Counters
+}
+
+// Outcome reports a full scenario execution: the fault-free baseline, the
+// faulted run, and any assertion violations (empty = pass).
+type Outcome struct {
+	Spec       Spec
+	Baseline   RunResult
+	Faulted    RunResult
+	Violations []string
+}
+
+// OK reports whether every assertion held.
+func (o Outcome) OK() bool { return len(o.Violations) == 0 }
+
+// Run executes the scenario: baseline first, then the faulted run, then the
+// assertions. The error return is for infrastructure failures (bad spec,
+// workload error); assertion failures land in Outcome.Violations.
+func Run(sp Spec) (Outcome, error) {
+	if err := sp.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	base, err := runWorkload(sp, abcl.FaultPlan{})
+	if err != nil {
+		return Outcome{}, fmt.Errorf("scenario %s: baseline: %w", sp.Name, err)
+	}
+	faulted, err := runWorkload(sp, sp.Faults.Plan())
+	if err != nil {
+		return Outcome{}, fmt.Errorf("scenario %s: faulted: %w", sp.Name, err)
+	}
+	o := Outcome{Spec: sp, Baseline: base, Faulted: faulted}
+	o.check()
+	return o, nil
+}
+
+func (o *Outcome) check() {
+	sp := o.Spec
+	c := o.Faulted.Stats
+	fail := func(format string, args ...any) {
+		o.Violations = append(o.Violations, fmt.Sprintf(format, args...))
+	}
+	if o.Faulted.Answer != o.Baseline.Answer {
+		fail("answer diverged under faults: %s != %s (baseline)", o.Faulted.Answer, o.Baseline.Answer)
+	}
+	if lost := c.LostMessages(); lost != 0 {
+		fail("%d messages lost", lost)
+	}
+	if c.RelAbandoned != 0 {
+		fail("%d messages abandoned after max retries", c.RelAbandoned)
+	}
+	if c.Retransmits < sp.Assert.MinRetries {
+		fail("retransmits = %d, want >= %d", c.Retransmits, sp.Assert.MinRetries)
+	}
+	if c.LinkDrops < sp.Assert.MinDrops {
+		fail("link drops = %d, want >= %d", c.LinkDrops, sp.Assert.MinDrops)
+	}
+	if c.DupSuppressed < sp.Assert.MinDupSuppressed {
+		fail("dup-suppressed = %d, want >= %d", c.DupSuppressed, sp.Assert.MinDupSuppressed)
+	}
+	if c.NodePauses < sp.Assert.MinPauses {
+		fail("node pauses = %d, want >= %d", c.NodePauses, sp.Assert.MinPauses)
+	}
+	if m := sp.Assert.MaxSlowdown; m > 0 && o.Baseline.Elapsed > 0 {
+		slow := float64(o.Faulted.Elapsed) / float64(o.Baseline.Elapsed)
+		if slow > m {
+			fail("slowdown %.2fx exceeds limit %.2fx", slow, m)
+		}
+	}
+}
+
+// runWorkload executes the spec's workload once under the given plan.
+func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
+	seed := sp.Seed
+	if seed == 0 {
+		seed = abcl.DefaultSeed
+	}
+	switch sp.Workload {
+	case "nqueens":
+		n := sp.N
+		if n == 0 {
+			n = 6
+		}
+		res, err := nqueens.Run(nqueens.Options{
+			N: n, Nodes: sp.Nodes, Seed: seed, Faults: plan,
+			Placement: abcl.PlaceRoundRobin, // deterministic across runs
+		})
+		if err != nil {
+			return RunResult{}, err
+		}
+		return RunResult{
+			Answer:  fmt.Sprintf("solutions=%d", res.Solutions),
+			Elapsed: res.Elapsed,
+			Stats:   res.Stats,
+		}, nil
+	case "forkjoin":
+		depth := sp.Depth
+		if depth == 0 {
+			depth = 6
+		}
+		sys, err := abcl.NewSystem(
+			abcl.WithNodes(sp.Nodes), abcl.WithSeed(seed), abcl.WithFaults(plan),
+		)
+		if err != nil {
+			return RunResult{}, err
+		}
+		leaves, err := misc.RunForkJoinOn(sys, depth)
+		if err != nil {
+			return RunResult{}, err
+		}
+		return RunResult{
+			Answer:  fmt.Sprintf("leaves=%d", leaves),
+			Elapsed: sys.Elapsed(),
+			Packets: sys.Packets(),
+			Stats:   sys.Stats(),
+		}, nil
+	case "diffusion":
+		grid, iters := sp.Grid, sp.Iters
+		if grid == 0 {
+			grid = 8
+		}
+		if iters == 0 {
+			iters = 5
+		}
+		res, err := diffusion.Run(diffusion.Options{
+			W: grid, H: grid, Iters: iters, Nodes: sp.Nodes,
+			BlockPlace: true, Seed: seed, Faults: plan,
+		})
+		if err != nil {
+			return RunResult{}, err
+		}
+		return RunResult{
+			Answer:  fmt.Sprintf("residual=%.9g", res.Residual),
+			Elapsed: res.Elapsed,
+			Stats:   res.Stats,
+		}, nil
+	}
+	return RunResult{}, fmt.Errorf("unknown workload %q", sp.Workload)
+}
+
+// Load reads one scenario spec from a JSON file.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	var sp Spec
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return Spec{}, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	return sp, sp.Validate()
+}
+
+// Report writes a human-readable outcome summary.
+func (o Outcome) Report() string {
+	c := o.Faulted.Stats
+	s := fmt.Sprintf("scenario %-24s %-9s  %s\n", o.Spec.Name, o.Spec.Workload, o.Faulted.Answer)
+	s += fmt.Sprintf("  baseline %-12v faulted %-12v (%.2fx)\n",
+		o.Baseline.Elapsed, o.Faulted.Elapsed, slowdown(o.Baseline.Elapsed, o.Faulted.Elapsed))
+	s += fmt.Sprintf("  drops=%d dups=%d pauses=%d retransmits=%d dup-suppressed=%d held=%d lost=%d\n",
+		c.LinkDrops, c.LinkDups, c.NodePauses,
+		c.Retransmits, c.DupSuppressed, c.HeldOutOfOrder, c.LostMessages())
+	if o.OK() {
+		s += "  PASS\n"
+	} else {
+		for _, v := range o.Violations {
+			s += fmt.Sprintf("  FAIL: %s\n", v)
+		}
+	}
+	return s
+}
+
+func slowdown(base, faulted sim.Time) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return float64(faulted) / float64(base)
+}

@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestBundledScenariosPass is the conformance suite: every shipped
+// scenario must reach quiescence under its faults with the same answer as
+// its fault-free baseline and zero lost messages.
+func TestBundledScenariosPass(t *testing.T) {
+	specs, err := Bundled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 3 {
+		t.Fatalf("expected several bundled scenarios, found %d", len(specs))
+	}
+	for _, sp := range specs {
+		t.Run(sp.Name, func(t *testing.T) {
+			o, err := Run(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range o.Violations {
+				t.Error(v)
+			}
+			if t.Failed() {
+				t.Log(o.Report())
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminism re-runs one bundled scenario and requires the
+// byte-identical outcome: same counters, same elapsed time, same answer.
+func TestScenarioDeterminism(t *testing.T) {
+	sp, err := Find("forkjoin-dup-jitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Faulted.Stats != b.Faulted.Stats {
+		t.Errorf("same spec produced different counters:\n%+v\nvs\n%+v", a.Faulted.Stats, b.Faulted.Stats)
+	}
+	if a.Faulted.Elapsed != b.Faulted.Elapsed || a.Faulted.Answer != b.Faulted.Answer {
+		t.Errorf("same spec produced different runs: %v/%s vs %v/%s",
+			a.Faulted.Elapsed, a.Faulted.Answer, b.Faulted.Elapsed, b.Faulted.Answer)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"missing name", `{"workload":"forkjoin","nodes":2}`},
+		{"bad workload", `{"name":"x","workload":"nope","nodes":2}`},
+		{"zero nodes", `{"name":"x","workload":"forkjoin"}`},
+		{"drop = 1", `{"name":"x","workload":"forkjoin","nodes":2,"faults":{"links":[{"drop":1.0}]}}`},
+		{"pause out of range", `{"name":"x","workload":"forkjoin","nodes":2,"faults":{"pauses":[{"node":9,"at_ns":0,"for_ns":10}]}}`},
+	}
+	for _, tc := range cases {
+		var sp Spec
+		if err := json.Unmarshal([]byte(tc.json), &sp); err != nil {
+			continue // malformed JSON is also a pass for this test
+		}
+		if err := sp.Validate(); err == nil {
+			t.Errorf("%s: want validation error", tc.name)
+		}
+	}
+}
+
+// TestLinkWildcardDefault pins that omitted src/dst mean "any node".
+func TestLinkWildcardDefault(t *testing.T) {
+	var l Link
+	if err := json.Unmarshal([]byte(`{"drop":0.5}`), &l); err != nil {
+		t.Fatal(err)
+	}
+	if l.Src != -1 || l.Dst != -1 {
+		t.Errorf("omitted src/dst = (%d,%d), want wildcard (-1,-1)", l.Src, l.Dst)
+	}
+}

@@ -164,3 +164,35 @@ func (e *Engine) RunUntil(deadline Time) (uint64, error) {
 func (e *Engine) Drain() {
 	e.heap = e.heap[:0]
 }
+
+// Timer is a cancelable scheduled callback, used for timeouts that are
+// usually canceled before they fire (e.g. retransmission timers). Stopping a
+// timer does not remove its slot from the event heap — the slot fires as a
+// no-op at its scheduled time — but the callback is guaranteed not to run.
+type Timer struct {
+	stopped bool
+	fired   bool
+}
+
+// Stop cancels the timer. Safe to call more than once and after firing.
+func (t *Timer) Stop() { t.stopped = true }
+
+// Stopped reports whether Stop was called before the timer fired.
+func (t *Timer) Stopped() bool { return t.stopped }
+
+// Fired reports whether the callback ran.
+func (t *Timer) Fired() bool { return t.fired }
+
+// AfterTimer schedules fire to run d nanoseconds from now unless the
+// returned Timer is stopped first.
+func (e *Engine) AfterTimer(d Time, fire func()) *Timer {
+	t := &Timer{}
+	e.After(d, func() {
+		if t.stopped {
+			return
+		}
+		t.fired = true
+		fire()
+	})
+	return t
+}

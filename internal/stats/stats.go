@@ -38,6 +38,20 @@ type Counters struct {
 	Migrations uint64 // objects moved to another node
 	Forwards   uint64 // messages re-sent through a migration forwarder
 
+	// Fault injection (attributed to the sending node for link faults).
+	LinkDrops  uint64 // packets dropped by injected link faults
+	LinkDups   uint64 // extra packet copies injected by link faults
+	NodePauses uint64 // execution windows deferred by injected node pauses
+
+	// Reliable delivery (ack/retry protocol of the inter-node layer).
+	RelSent        uint64 // unique reliable messages sent (excluding retries)
+	RelDelivered   uint64 // unique reliable messages delivered to handlers
+	RelAbandoned   uint64 // messages given up on after the retry limit
+	Retransmits    uint64 // retransmissions after an acknowledgment timeout
+	AcksSent       uint64 // acknowledgments transmitted by receivers
+	DupSuppressed  uint64 // received duplicate copies discarded by dedup
+	HeldOutOfOrder uint64 // messages held to restore per-link FIFO order
+
 	// Scheduling.
 	SchedEnqueues uint64
 	SchedDequeues uint64
@@ -65,6 +79,16 @@ func (c *Counters) Add(o *Counters) {
 	c.FaultBuffered += o.FaultBuffered
 	c.Migrations += o.Migrations
 	c.Forwards += o.Forwards
+	c.LinkDrops += o.LinkDrops
+	c.LinkDups += o.LinkDups
+	c.NodePauses += o.NodePauses
+	c.RelSent += o.RelSent
+	c.RelDelivered += o.RelDelivered
+	c.RelAbandoned += o.RelAbandoned
+	c.Retransmits += o.Retransmits
+	c.AcksSent += o.AcksSent
+	c.DupSuppressed += o.DupSuppressed
+	c.HeldOutOfOrder += o.HeldOutOfOrder
 	c.SchedEnqueues += o.SchedEnqueues
 	c.SchedDequeues += o.SchedDequeues
 	c.Preemptions += o.Preemptions
@@ -86,6 +110,16 @@ func (c *Counters) TotalMessages() uint64 {
 // Creations returns all object creations.
 func (c *Counters) Creations() uint64 {
 	return c.LocalCreations + c.RemoteCreations
+}
+
+// LostMessages returns the number of unique reliable messages that were sent
+// but never delivered. At quiescence this must be zero for the reliable
+// layer's delivery guarantee to hold (abandoned messages count as lost).
+func (c *Counters) LostMessages() uint64 {
+	if c.RelDelivered >= c.RelSent {
+		return 0
+	}
+	return c.RelSent - c.RelDelivered
 }
 
 // DormantFraction returns the fraction of local messages that were delivered

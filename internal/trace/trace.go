@@ -25,6 +25,14 @@ const (
 	EvCreate
 	EvRemoteSend
 	EvRemoteRecv
+	// Fault-injection and reliable-delivery events.
+	EvLinkDrop  // a packet was dropped by the fault injector
+	EvLinkDup   // an extra copy of a packet was injected
+	EvNodePause // a node deferred execution for a fault window
+	EvRetry     // the reliable layer retransmitted an unacknowledged message
+	EvAck       // an acknowledgment was sent or processed
+	EvDupMsg    // a duplicate message was suppressed at the receiver
+	EvHold      // an out-of-order message was held for in-order delivery
 )
 
 var kindNames = [...]string{
@@ -38,6 +46,13 @@ var kindNames = [...]string{
 	EvCreate:     "create",
 	EvRemoteSend: "remote-send",
 	EvRemoteRecv: "remote-recv",
+	EvLinkDrop:   "link-drop",
+	EvLinkDup:    "link-dup",
+	EvNodePause:  "node-pause",
+	EvRetry:      "retry",
+	EvAck:        "ack",
+	EvDupMsg:     "dup-msg",
+	EvHold:       "hold",
 }
 
 func (k Kind) String() string {
@@ -106,10 +121,15 @@ func (r *Ring) Events() []Event {
 	return out
 }
 
+// String formats the event as one Dump-style line (without the newline).
+func (e Event) String() string {
+	return fmt.Sprintf("%12v n%-4d %-12s %s", e.At, e.Node, e.Kind, e.What)
+}
+
 // Dump writes the retained events, one per line.
 func (r *Ring) Dump(w io.Writer) error {
 	for _, e := range r.Events() {
-		if _, err := fmt.Fprintf(w, "%12v n%-4d %-12s %s\n", e.At, e.Node, e.Kind, e.What); err != nil {
+		if _, err := fmt.Fprintln(w, e); err != nil {
 			return err
 		}
 	}
