@@ -1,23 +1,44 @@
 # Convenience targets for the ABCL/onAP1000 reproduction.
 #
-#   make tier1           build + full test suite (the acceptance gate)
+#   make tier1           build + full test suite + bench smoke (the acceptance gate)
 #   make vet-race        go vet + race-detector pass over the parallel core
 #   make scenario-smoke  run every bundled fault scenario end to end
 #   make check           all of the above
+#   make bench-baseline  run the perf suite, save BENCH_<date>.json
+#   make bench-compare   run the perf suite, diff against BASELINE json
 
-.PHONY: all tier1 vet-race scenario-smoke check
+.PHONY: all tier1 vet-race scenario-smoke check bench-baseline bench-compare
 
 all: tier1
 
 tier1:
 	go build ./...
 	go test ./...
+	go test -run xxx -bench . -benchtime 1x .
 
 vet-race:
 	go vet ./...
-	go test -race ./internal/parexec/... ./internal/core/...
+	go test -race ./internal/parexec/... ./internal/core/... ./internal/sim/... ./internal/conformance/...
 
 scenario-smoke:
 	go run ./cmd/abclsim -workload scenario -scenario all
 
 check: tier1 vet-race scenario-smoke
+
+# Performance tracking. bench-baseline records the suite into a dated JSON
+# report; bench-compare records a fresh report and prints a side-by-side
+# diff against BASELINE (default: the newest BENCH_*.json in the repo).
+BENCH_PATTERN ?= BenchmarkTable1_IntraNodeDormant|BenchmarkTable4_NQueensScale|BenchmarkFigure5_Speedup|BenchmarkSimulatorThroughput|BenchmarkForkJoin
+BENCH_TIME ?= 20x
+BENCH_DATE := $(shell date +%Y-%m-%d)
+BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+
+bench-baseline:
+	go test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . \
+		| go run ./cmd/benchjson -date $(BENCH_DATE) -o BENCH_$(BENCH_DATE).json
+	@echo wrote BENCH_$(BENCH_DATE).json
+
+bench-compare:
+	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline found; run make bench-baseline first" >&2; exit 1; }
+	go test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . \
+		| go run ./cmd/benchjson -date $(BENCH_DATE) -compare $(BASELINE)

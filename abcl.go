@@ -145,15 +145,16 @@ const DefaultStockDepth = 2
 
 // settings is the resolved configuration an Option edits.
 type settings struct {
-	nodes     int
-	policy    Policy
-	maxStack  int
-	stock     int // resolved depth; 0 disables the stock
-	placement Placement
-	seed      int64
-	machine   *machine.Config
-	traceCap  int
-	faults    FaultPlan
+	nodes      int
+	policy     Policy
+	maxStack   int
+	stock      int // resolved depth; 0 disables the stock
+	placement  Placement
+	seed       int64
+	machine    *machine.Config
+	traceCap   int
+	faults     FaultPlan
+	parWorkers int
 }
 
 // Option configures a System under construction. Options are applied in
@@ -275,6 +276,24 @@ func WithFaults(plan FaultPlan) Option {
 	}
 }
 
+// WithParallelSim runs the simulation on the conservative parallel executor
+// with the given worker count: node event lanes whose next events fall inside
+// one minimum-wire-latency lookahead window fire concurrently, then the
+// engine barriers and advances. Results are identical to the sequential
+// engine (same final state, same statistics); only wall-clock time differs.
+// workers <= 1 selects the sequential engine. Incompatible with WithTrace:
+// the trace ring records a single global interleaving that parallel windows
+// do not have.
+func WithParallelSim(workers int) Option {
+	return func(s *settings) error {
+		if workers < 0 {
+			return fmt.Errorf("abcl: WithParallelSim(%d): worker count must be non-negative", workers)
+		}
+		s.parWorkers = workers
+		return nil
+	}
+}
+
 // System is a complete simulated multicomputer running the ABCL runtime.
 type System struct {
 	M   *machine.Machine
@@ -283,8 +302,9 @@ type System struct {
 	// Trace holds runtime events when tracing was enabled (WithTrace).
 	Trace *trace.Ring
 
-	seed   int64
-	faults FaultPlan
+	seed       int64
+	faults     FaultPlan
+	parWorkers int
 }
 
 // NewSystem builds a System from functional options:
@@ -324,6 +344,9 @@ func NewSystem(opts ...Option) (*System, error) {
 	}
 	var ring *trace.Ring
 	if s.traceCap > 0 {
+		if s.parWorkers > 1 {
+			return nil, fmt.Errorf("abcl: WithTrace and WithParallelSim are incompatible: the trace ring records a single global event interleaving")
+		}
 		ring = trace.NewRing(s.traceCap)
 	}
 	reliable := s.faults.Enabled()
@@ -346,7 +369,7 @@ func NewSystem(opts ...Option) (*System, error) {
 		Reliable:   reliable,
 		Trace:      ring,
 	})
-	return &System{M: m, RT: rt, Net: net, Trace: ring, seed: s.seed, faults: s.faults}, nil
+	return &System{M: m, RT: rt, Net: net, Trace: ring, seed: s.seed, faults: s.faults, parWorkers: s.parWorkers}, nil
 }
 
 // MustNewSystem is NewSystem for known-good configurations.
@@ -464,8 +487,15 @@ func (s *System) Send(to Address, p Pattern, args ...Value) {
 }
 
 // Run freezes the system (fixing patterns and building all virtual function
-// tables) and executes until quiescence.
-func (s *System) Run() error { return s.RT.Run() }
+// tables) and executes until quiescence — on the parallel executor when
+// WithParallelSim was given, sequentially otherwise.
+func (s *System) Run() error {
+	if s.parWorkers > 1 {
+		s.RT.Freeze()
+		return s.M.ParallelRun(s.parWorkers)
+	}
+	return s.RT.Run()
+}
 
 // Migrate moves a quiescent object to another node (a category-4 service):
 // its state travels in a packet and a forwarder is installed at the old
@@ -504,7 +534,7 @@ func (s *System) Stats() Counters { return s.RT.TotalStats() }
 func (s *System) TotalInstructions() uint64 { return s.M.TotalInstr() }
 
 // Packets returns the total inter-node packet count.
-func (s *System) Packets() uint64 { return s.M.TotalPackets }
+func (s *System) Packets() uint64 { return s.M.TotalPackets() }
 
 // InstrTime converts an instruction count to virtual time under the
 // system's clock and CPI configuration.

@@ -20,10 +20,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	abcl "repro"
 	"repro/internal/apps/diffusion"
@@ -53,6 +59,18 @@ var (
 	drop   = flag.Float64("drop", 0, "link fault: per-packet drop probability [0,1)")
 	dup    = flag.Float64("dup", 0, "link fault: per-packet duplication probability [0,1]")
 	jitter = flag.Int64("jitter", 0, "link fault: max extra latency per packet (ns)")
+
+	parSim     = flag.Int("parallel-sim", 0, "run the event engine on the parallel executor with this many workers (0/1 = sequential)")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	benchJSON  = flag.String("bench-json", "", "write a wall-clock benchmark summary (JSON) to this file")
+)
+
+// benchEvents/benchMsgs are filled by workloads that expose their engine and
+// message counts, for the -bench-json summary.
+var (
+	benchEvents atomic.Uint64
+	benchMsgs   atomic.Uint64
 )
 
 // faultPlan translates the -drop/-dup/-jitter flags into a FaultPlan; the
@@ -83,6 +101,9 @@ func sysOptions() []abcl.Option {
 	if *traceN > 0 {
 		opts = append(opts, abcl.WithTrace(*traceN))
 	}
+	if *parSim > 1 {
+		opts = append(opts, abcl.WithParallelSim(*parSim))
+	}
 	if p := faultPlan(); p.Enabled() {
 		opts = append(opts, abcl.WithFaults(p))
 	}
@@ -91,6 +112,18 @@ func sysOptions() []abcl.Option {
 
 func main() {
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abclsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "abclsim:", err)
+			os.Exit(1)
+		}
+	}
+	start := time.Now()
 	var err error
 	switch *workload {
 	case "nqueens":
@@ -106,10 +139,64 @@ func main() {
 	default:
 		err = fmt.Errorf("unknown workload %q", *workload)
 	}
+	wall := time.Since(start)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		if perr := writeMemProfile(*memprofile); err == nil {
+			err = perr
+		}
+	}
+	if *benchJSON != "" && err == nil {
+		err = writeBenchJSON(*benchJSON, wall)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abclsim:", err)
 		os.Exit(1)
 	}
+}
+
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+// writeBenchJSON emits a machine-readable throughput summary of the run, for
+// before/after comparisons (make bench-baseline / bench-compare).
+func writeBenchJSON(path string, wall time.Duration) error {
+	ev, msgs := benchEvents.Load(), benchMsgs.Load()
+	sum := struct {
+		Workload     string  `json:"workload"`
+		Nodes        int     `json:"nodes"`
+		ParallelSim  int     `json:"parallel_sim"`
+		WallMs       float64 `json:"wall_ms"`
+		Events       uint64  `json:"events"`
+		EventsPerSec float64 `json:"events_per_sec"`
+		Messages     uint64  `json:"messages"`
+		MsgsPerSec   float64 `json:"msgs_per_sec"`
+	}{
+		Workload:    *workload,
+		Nodes:       *nodes,
+		ParallelSim: *parSim,
+		WallMs:      float64(wall.Nanoseconds()) / 1e6,
+		Events:      ev,
+		Messages:    msgs,
+	}
+	if s := wall.Seconds(); s > 0 {
+		sum.EventsPerSec = float64(ev) / s
+		sum.MsgsPerSec = float64(msgs) / s
+	}
+	b, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func parsePolicy() abcl.Policy {
@@ -149,6 +236,8 @@ func runNQueens() error {
 	if err != nil {
 		return err
 	}
+	benchEvents.Store(sys.M.Eng.Fired())
+	benchMsgs.Store(uint64(res.Messages))
 	fmt.Printf("N-queens N=%d on %d nodes (%s scheduling, %s placement)\n",
 		*n, *nodes, parsePolicy(), parsePlacement().Name())
 	fmt.Printf("  solutions        %d (expected %d)\n", res.Solutions, seq.Solutions)
@@ -208,6 +297,9 @@ func runForkJoin() error {
 	if err != nil {
 		return err
 	}
+	c := sys.Stats()
+	benchEvents.Store(sys.M.Eng.Fired())
+	benchMsgs.Store(c.LocalToDormant + c.LocalToActive + c.RemoteSends)
 	fmt.Printf("fork-join depth=%d on %d nodes: %d leaves (expected %d)\n",
 		*depth, *nodes, leaves, int64(1)<<uint(*depth))
 	return nil
@@ -256,14 +348,38 @@ func runScenarios() error {
 		}
 		specs = []scenario.Spec{sp}
 	}
+	// Each scenario builds its own fault-free and faulted systems, so the
+	// suite runs concurrently across GOMAXPROCS. Reports are collected into
+	// indexed slots and printed in spec order, identical to a serial run.
+	outs := make([]scenario.Outcome, len(specs))
+	errs := make([]error, len(specs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				outs[i], errs[i] = scenario.Run(specs[i])
+			}
+		}()
+	}
+	wg.Wait()
 	failed := 0
-	for _, sp := range specs {
-		o, err := scenario.Run(sp)
-		if err != nil {
-			return err
+	for i := range specs {
+		if errs[i] != nil {
+			return errs[i]
 		}
-		fmt.Print(o.Report())
-		if !o.OK() {
+		fmt.Print(outs[i].Report())
+		if !outs[i].OK() {
 			failed++
 		}
 	}

@@ -1,0 +1,173 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON report, and optionally compares it against a
+// previously saved report. It backs the Makefile's bench-baseline and
+// bench-compare targets:
+//
+//	go test -bench ... -benchmem . | benchjson -o BENCH_2026-08-05.json
+//	go test -bench ... -benchmem . | benchjson -o BENCH_new.json -compare BENCH_old.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Report is the saved form of one benchmark run.
+type Report struct {
+	Date       string  `json:"date,omitempty"`
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark result line.
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON report to diff against")
+	date := flag.String("date", "", "date stamp recorded in the report")
+	flag.Parse()
+
+	rep := parse(bufio.NewScanner(os.Stdin))
+	rep.Date = *date
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if *compare != "" {
+		base, err := load(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		diff(base, rep)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func load(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// parse extracts benchmark result lines and the run's environment header.
+func parse(sc *bufio.Scanner) *Report {
+	rep := &Report{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep
+}
+
+// parseBench decodes one result line: name, iteration count, then
+// value/unit pairs (ns/op, B/op, allocs/op, and custom ReportMetric units).
+func parseBench(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Bench{}, false
+	}
+	b := Bench{Name: strings.TrimSuffix(strings.TrimPrefix(fields[0], "Benchmark"), "-1")}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix if present.
+		if _, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name = b.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, true
+}
+
+// diff prints a side-by-side comparison of matching benchmark names.
+func diff(base, cur *Report) {
+	byName := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Printf("\n%-40s %14s %14s %8s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	for _, b := range cur.Benchmarks {
+		old, ok := byName[b.Name]
+		if !ok {
+			fmt.Printf("%-40s %14s %14.0f %8s %12s %12.0f\n",
+				b.Name, "-", b.NsPerOp, "-", "-", b.AllocsOp)
+			continue
+		}
+		delta := "-"
+		if old.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (b.NsPerOp-old.NsPerOp)/old.NsPerOp*100)
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %8s %12.0f %12.0f\n",
+			b.Name, old.NsPerOp, b.NsPerOp, delta, old.AllocsOp, b.AllocsOp)
+	}
+}

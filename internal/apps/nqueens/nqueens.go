@@ -203,19 +203,35 @@ func (d *Driver) expandBoard(ctx *abcl.Ctx, b Board) {
 
 // spawnChildren creates children for each valid column in CPS order: the
 // creation itself can block when the chunk stock runs dry, so the loop is
-// expressed as a continuation chain.
+// expressed as a continuation chain. A single continuation and ctor-arg
+// slice serve every child of this node; the continuation advances i and
+// re-arms itself until the valid columns are exhausted.
 func (d *Driver) spawnChildren(ctx *abcl.Ctx, b Board, valid []int8, i int) {
 	if i == len(valid) {
 		return
 	}
+	ctorArgs := []abcl.Value{abcl.Ref(ctx.Self())}
+	var child Board
+	var k func(*abcl.Ctx, abcl.Address)
+	k = func(ctx *abcl.Ctx, addr abcl.Address) {
+		ctx.SendPast(addr, d.patExpand, abcl.Any(child))
+		i++
+		if i == len(valid) {
+			return
+		}
+		child = nextChild(b, valid[i])
+		ctx.Create(d.nodeCls, ctorArgs, k)
+	}
+	child = nextChild(b, valid[i])
+	ctx.Create(d.nodeCls, ctorArgs, k)
+}
+
+// nextChild extends b with a queen in column col on the next row.
+func nextChild(b Board, col int8) Board {
 	child := make(Board, len(b)+1)
 	copy(child, b)
-	child[len(b)] = valid[i]
-	self := ctx.Self()
-	ctx.Create(d.nodeCls, []abcl.Value{abcl.Ref(self)}, func(ctx *abcl.Ctx, addr abcl.Address) {
-		ctx.SendPast(addr, d.patExpand, abcl.Any(child))
-		d.spawnChildren(ctx, b, valid, i+1)
-	})
+	child[len(b)] = col
+	return child
 }
 
 // doneMethod accumulates a child's solution count; when the last child has

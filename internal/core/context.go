@@ -134,8 +134,7 @@ func (c *Ctx) WaitFor(k func(*Ctx, *Frame), pats ...PatternID) {
 	}
 	n := c.rt
 	n.charge(n.cost.CheckMsgQueue)
-	ws := &waitState{pats: pats}
-	if f := c.self.queue.popMatching(ws.awaits); f != nil {
+	if f := c.self.queue.popMatchingPats(pats); f != nil {
 		n.C.WaitFast++
 		k(c, f)
 		return
@@ -143,8 +142,7 @@ func (c *Ctx) WaitFor(k func(*Ctx, *Frame), pats ...PatternID) {
 	n.C.WaitBlocked++
 	n.C.HeapFrames++
 	n.charge(n.cost.SaveContext + n.cost.SwitchVFTPWait)
-	ws.k = k
-	ws.frame = c.f
+	ws := &waitState{pats: pats, k: k, frame: c.f}
 	c.self.wait = ws
 	c.self.vftp = c.self.class.waitingVFT(pats)
 	c.blocked = true

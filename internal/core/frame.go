@@ -12,8 +12,29 @@ type Frame struct {
 	Args    []Value
 	ReplyTo Address // reply destination for now-type messages; nil for past-type
 
-	hints SendHint // compile-time optimization hints of the send site
-	next  *Frame   // message-queue link
+	// argBuf is the inline argument store: setArgs copies small argument
+	// lists here so a send's variadic slice never outlives the call and can
+	// live on the sender's stack.
+	argBuf [2]Value
+
+	hints  SendHint // compile-time optimization hints of the send site
+	next   *Frame   // message-queue link, reused as the free-list link
+	pooled bool     // obtained from a NodeRT frame pool; recycled at method end
+}
+
+// setArgs copies args into the frame — into the inline buffer when they
+// fit, a fresh slice otherwise. The copy is unconditional so the caller's
+// slice provably does not escape through this call.
+func (f *Frame) setArgs(args []Value) {
+	switch {
+	case len(args) == 0:
+		f.Args = nil
+	case len(args) <= len(f.argBuf):
+		nc := copy(f.argBuf[:], args)
+		f.Args = f.argBuf[:nc:nc]
+	default:
+		f.Args = append([]Value(nil), args...)
+	}
 }
 
 // Arg returns the i'th argument, or Nil if out of range.
@@ -66,6 +87,31 @@ func (q *frameQueue) popMatching(match func(PatternID) bool) *Frame {
 	var prev *Frame
 	for f := q.head; f != nil; prev, f = f, f.next {
 		if match(f.Pattern) {
+			if prev == nil {
+				q.head = f.next
+			} else {
+				prev.next = f.next
+			}
+			if q.tail == f {
+				q.tail = prev
+			}
+			f.next = nil
+			q.n--
+			return f
+		}
+	}
+	return nil
+}
+
+// popMatchingPats is popMatching specialized to a pattern list, avoiding
+// the predicate closure on the selective-reception fast path.
+func (q *frameQueue) popMatchingPats(pats []PatternID) *Frame {
+	var prev *Frame
+	for f := q.head; f != nil; prev, f = f, f.next {
+		for _, p := range pats {
+			if f.Pattern != p {
+				continue
+			}
 			if prev == nil {
 				q.head = f.next
 			} else {

@@ -60,9 +60,13 @@ func (n *NodeRT) sendHinted(to Address, p PatternID, args []Value, replyTo Addre
 	}
 	if to.Node != n.id {
 		n.C.RemoteSends++
-		n.rt.remote.SendMessage(n, to, p, args, replyTo)
+		// Stage the arguments in the node's scratch buffer: the interface
+		// call would otherwise force the caller's argument slice to the
+		// heap. SendMessage copies before returning, so reuse is safe.
+		n.sendScratch = append(n.sendScratch[:0], args...)
+		n.rt.remote.SendMessage(n, to, p, n.sendScratch, replyTo)
 		return
 	}
-	f := &Frame{Pattern: p, Args: args, ReplyTo: replyTo, hints: hints}
+	f := n.newFrame(p, args, replyTo, hints)
 	n.DeliverFrame(to.Obj, f, false)
 }

@@ -15,7 +15,11 @@ package core
 func forwardEntry(n *NodeRT, obj *Object, f *Frame) {
 	n.charge(n.cost.ForwardHop)
 	n.C.Forwards++
+	// The re-send copies the arguments into its own frame (or the remote
+	// layer's wire record), so f — whose inline buffer may back f.Args —
+	// is released only after the Send completes.
 	n.Send(obj.forward, f.Pattern, f.Args, f.ReplyTo)
+	n.releaseFrame(f)
 }
 
 // MigrationState is the transferable image of an object: its state box, or

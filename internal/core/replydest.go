@@ -43,17 +43,20 @@ func replyEntry(n *NodeRT, obj *Object, f *Frame) {
 	if rd.consumed || rd.arrived {
 		// A second reply to the same destination: the first wins.
 		n.C.DroppedReplies++
+		n.releaseFrame(f)
 		return
 	}
 	if rd.waiterObj == nil {
 		rd.value = f.Arg(0)
 		rd.arrived = true
+		n.releaseFrame(f)
 		return
 	}
 	rd.consumed = true
 	w, k, wf := rd.waiterObj, rd.waiterK, rd.waiterF
 	rd.waiterObj, rd.waiterK, rd.waiterF = nil, nil, nil
 	v := f.Arg(0)
+	n.releaseFrame(f)
 	if n.stackDepth >= n.rt.maxStackDepth {
 		n.C.Preemptions++
 		n.charge(n.cost.SaveContext)

@@ -33,7 +33,10 @@ func (p Policy) String() string {
 // core runtime. The core calls SendMessage when a locality check fails and
 // Create for placement-policy-driven object creation.
 type Remote interface {
-	// SendMessage transmits a message to an object on another node.
+	// SendMessage transmits a message to an object on another node. The
+	// args slice is only valid for the duration of the call — the core
+	// stages it in a reusable scratch buffer — so the implementation must
+	// copy anything it keeps.
 	SendMessage(n *NodeRT, to Address, p PatternID, args []Value, replyTo Address)
 	// Create creates an object on a node chosen by the placement policy and
 	// passes its mail address to k. The fast path (chunk stock hit) calls k
@@ -91,6 +94,7 @@ func NewRuntime(m *machine.Machine, opt Options) *Runtime {
 	r.M = m
 	for i := range nodes {
 		m.Node(i).Runner = r.nodes[i]
+		r.nodes[i].mn = m.Node(i)
 	}
 	return r
 }
@@ -226,9 +230,10 @@ func (r *Runtime) TotalStats() stats.Counters {
 // Before freeze the table pointer is deferred (tables do not exist yet);
 // Freeze fills it in.
 func (r *Runtime) newObject(cl *Class, node int, ctorArgs []Value) *Object {
-	obj := &Object{class: cl, node: node, ctorArgs: ctorArgs}
+	n := r.nodes[node]
+	obj := &Object{class: cl, node: node, ctorArgs: n.copyCtorArgs(ctorArgs)}
 	if cl.StateSize > 0 {
-		obj.state = make([]Value, cl.StateSize)
+		obj.state = n.allocState(cl.StateSize)
 	}
 	if r.frozen {
 		assignInitialVFT(obj)
@@ -268,9 +273,9 @@ func (r *Runtime) InitChunk(n *NodeRT, obj *Object, cl *Class, ctorArgs []Value)
 		panic("core: InitChunk on already-initialized object")
 	}
 	obj.class = cl
-	obj.ctorArgs = ctorArgs
+	obj.ctorArgs = n.copyCtorArgs(ctorArgs)
 	if cl.StateSize > 0 {
-		obj.state = make([]Value, cl.StateSize)
+		obj.state = n.allocState(cl.StateSize)
 	}
 	if cl.Init != nil {
 		obj.vftp = cl.initTable

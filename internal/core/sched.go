@@ -30,12 +30,28 @@ type NodeRT struct {
 	rt   *Runtime
 	id   int
 	node ExecNode
+	mn   *machine.Node // devirtualized node when running on the DES machine
 	cost *machine.Cost
 
 	schedQ     schedQueue
 	stackDepth int
 	maxDepth   int // high-water mark, for reports
 	tr         *trace.Ring
+
+	frameFree *Frame // free list of recycled message frames (linked via next)
+	ctxFree   []*Ctx // recycled invocation contexts
+
+	// sendScratch stages outgoing remote-send arguments for the interface
+	// call into the remote layer. The layer copies what it needs before
+	// returning (see Remote.SendMessage), so one reusable buffer suffices
+	// and the sender's variadic argument slice never escapes.
+	sendScratch []Value
+
+	// stateArena backs the state-variable slices of objects created on this
+	// node. Objects are never reclaimed, so the arena only grows; carving
+	// slices out of block allocations replaces one small allocation per
+	// object creation with one per block.
+	stateArena []Value
 
 	C stats.Counters
 }
@@ -59,7 +75,113 @@ func (n *NodeRT) SchedQueueLen() int { return n.schedQ.len() }
 // MaxObservedDepth returns the deepest stack-based invocation nesting seen.
 func (n *NodeRT) MaxObservedDepth() int { return n.maxDepth }
 
-func (n *NodeRT) charge(instr int) { n.node.Charge(instr) }
+func (n *NodeRT) charge(instr int) {
+	// Devirtualized fast path: on the discrete-event machine the concrete
+	// node is cached so the hot charge path avoids an interface call.
+	if n.mn != nil {
+		n.mn.Charge(instr)
+		return
+	}
+	n.node.Charge(instr)
+}
+
+// NewFrame returns a message frame from the node's free list (or a fresh
+// one), marked for recycling when the invocation it carries completes
+// without blocking. Only code running on this node may call it.
+func (n *NodeRT) NewFrame(p PatternID, args []Value, replyTo Address) *Frame {
+	return n.newFrame(p, args, replyTo, 0)
+}
+
+func (n *NodeRT) newFrame(p PatternID, args []Value, replyTo Address, hints SendHint) *Frame {
+	f := n.frameFree
+	if f == nil {
+		f = &Frame{}
+	} else {
+		n.frameFree = f.next
+		f.next = nil
+	}
+	f.Pattern = p
+	f.setArgs(args)
+	f.ReplyTo = replyTo
+	f.hints = hints
+	f.pooled = true
+	return f
+}
+
+// releaseFrame recycles a pooled frame once its invocation has fully
+// completed. Frames saved by blocking paths (now-waits, selective
+// reception, yields) are released only when their continuation finishes;
+// frames handed to user continuations (awaited messages) are never
+// recycled. Non-pooled frames (host injections, tests) are ignored.
+func (n *NodeRT) releaseFrame(f *Frame) {
+	if f == nil || !f.pooled {
+		return
+	}
+	f.pooled = false
+	f.Pattern = 0
+	f.Args = nil
+	f.argBuf = [2]Value{} // drop any pointers held by inline arguments
+	f.ReplyTo = Address{}
+	f.hints = 0
+	f.next = n.frameFree
+	n.frameFree = f
+}
+
+// allocState carves a zeroed state-variable slice out of the node's arena.
+// Every slice is capped (three-index expression), so an append through one
+// can never bleed into a neighbor's storage.
+func (n *NodeRT) allocState(sz int) []Value {
+	if len(n.stateArena)+sz > cap(n.stateArena) {
+		// Blocks double from a small seed so lightly-populated nodes waste
+		// little and heavily-populated ones amortize quickly.
+		blk := 2 * cap(n.stateArena)
+		if blk < 64 {
+			blk = 64
+		}
+		if blk > 4096 {
+			blk = 4096
+		}
+		if sz > blk {
+			blk = sz
+		}
+		n.stateArena = make([]Value, 0, blk)
+	}
+	off := len(n.stateArena)
+	n.stateArena = n.stateArena[:off+sz]
+	return n.stateArena[off : off+sz : off+sz]
+}
+
+// copyCtorArgs snapshots constructor arguments into the node arena. The
+// caller's slice may be a recycled wire record or a stack-resident variadic
+// list; the object must own a stable copy until its lazy init consumes it.
+func (n *NodeRT) copyCtorArgs(ctorArgs []Value) []Value {
+	if len(ctorArgs) == 0 {
+		return nil
+	}
+	ca := n.allocState(len(ctorArgs))
+	copy(ca, ctorArgs)
+	return ca
+}
+
+// acquireCtx returns a recycled invocation context (or a fresh one) bound
+// to an (object, frame) pair. Contexts whose invocation completes without
+// blocking are recycled by the invoke paths; blocked contexts are dead by
+// API contract (a blocking operation must be the method's last action) and
+// are left to the garbage collector.
+func (n *NodeRT) acquireCtx(obj *Object, f *Frame) *Ctx {
+	if len(n.ctxFree) > 0 {
+		c := n.ctxFree[len(n.ctxFree)-1]
+		n.ctxFree = n.ctxFree[:len(n.ctxFree)-1]
+		*c = Ctx{rt: n, self: obj, f: f}
+		return c
+	}
+	return &Ctx{rt: n, self: obj, f: f}
+}
+
+func (n *NodeRT) releaseCtx(c *Ctx) {
+	*c = Ctx{}
+	n.ctxFree = append(n.ctxFree, c)
+}
 
 // tracef records a runtime event when tracing is enabled. The format
 // arguments are only evaluated with tracing on.
@@ -204,7 +326,7 @@ func (n *NodeRT) Step() bool {
 		// A waiting object scheduled because an awaited message was
 		// buffered (naive policy, or a depth-deferred restoration).
 		ws := obj.wait
-		f := obj.queue.popMatching(ws.awaits)
+		f := obj.queue.popMatchingPats(ws.pats)
 		if f == nil {
 			break // parked again; a future awaited arrival reschedules
 		}
@@ -260,8 +382,8 @@ func (n *NodeRT) invokeBody(obj *Object, f *Frame, body MethodFunc) {
 	if n.stackDepth > n.maxDepth {
 		n.maxDepth = n.stackDepth
 	}
-	ctx := Ctx{rt: n, self: obj, f: f}
-	body(&ctx)
+	ctx := n.acquireCtx(obj, f)
+	body(ctx)
 	n.stackDepth--
 	obj.running = false
 	h := f.hints
@@ -270,6 +392,8 @@ func (n *NodeRT) invokeBody(obj *Object, f *Frame, body MethodFunc) {
 	}
 	if !ctx.blocked {
 		n.methodEndHinted(obj, h)
+		n.releaseFrame(f)
+		n.releaseCtx(ctx)
 	}
 	if h&HintNoPoll == 0 {
 		n.charge(n.cost.PollRemote)
@@ -285,12 +409,14 @@ func (n *NodeRT) runCont(obj *Object, frame *Frame, k func(*Ctx)) {
 	if n.stackDepth > n.maxDepth {
 		n.maxDepth = n.stackDepth
 	}
-	ctx := Ctx{rt: n, self: obj, f: frame}
-	k(&ctx)
+	ctx := n.acquireCtx(obj, frame)
+	k(ctx)
 	n.stackDepth--
 	obj.running = false
 	if !ctx.blocked {
 		n.methodEnd(obj)
+		n.releaseFrame(frame)
+		n.releaseCtx(ctx)
 	}
 	n.charge(n.cost.StackReturn)
 }

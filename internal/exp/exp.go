@@ -6,6 +6,9 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	abcl "repro"
 	"repro/internal/apps/nqueens"
@@ -13,6 +16,49 @@ import (
 	"repro/internal/machine"
 	"repro/internal/sim"
 )
+
+// forEachIndexed runs fn(i) for i in [0, n) on up to GOMAXPROCS goroutines
+// and returns the first error by index. Each sweep point builds its own
+// System, so points share no state; results land in pre-indexed slots, which
+// keeps output order (and therefore printed tables) identical to the
+// sequential loop.
+func forEachIndexed(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Table1Row is one basic-operation cost (paper's Table 1).
 type Table1Row struct {
@@ -140,24 +186,32 @@ type SpeedupPoint struct {
 }
 
 // Figure5 sweeps node counts for each problem size, computing speedup
-// against the sequential baseline.
+// against the sequential baseline. The sweep points are independent
+// simulations and run concurrently across GOMAXPROCS; the returned order is
+// the same nested (size, procs) order as a sequential sweep.
 func Figure5(ns, procs []int, seed int64) ([]SpeedupPoint, error) {
-	var out []SpeedupPoint
+	seqElapsed := make(map[int]sim.Time, len(ns))
 	for _, n := range ns {
-		seq := nqueens.Sequential(n, machine.DefaultConfig(1), 0)
-		for _, p := range procs {
-			res, err := nqueens.Run(nqueens.Options{N: n, Nodes: p, Seed: seed})
-			if err != nil {
-				return nil, fmt.Errorf("exp: figure 5 N=%d P=%d: %w", n, p, err)
-			}
-			out = append(out, SpeedupPoint{
-				N:           n,
-				Procs:       p,
-				Elapsed:     res.Elapsed,
-				Speedup:     float64(seq.Elapsed) / float64(res.Elapsed),
-				Utilization: res.Utilization,
-			})
+		seqElapsed[n] = nqueens.Sequential(n, machine.DefaultConfig(1), 0).Elapsed
+	}
+	out := make([]SpeedupPoint, len(ns)*len(procs))
+	err := forEachIndexed(len(out), func(i int) error {
+		n, p := ns[i/len(procs)], procs[i%len(procs)]
+		res, err := nqueens.Run(nqueens.Options{N: n, Nodes: p, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("exp: figure 5 N=%d P=%d: %w", n, p, err)
 		}
+		out[i] = SpeedupPoint{
+			N:           n,
+			Procs:       p,
+			Elapsed:     res.Elapsed,
+			Speedup:     float64(seqElapsed[n]) / float64(res.Elapsed),
+			Utilization: res.Utilization,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -172,25 +226,31 @@ type Figure6Row struct {
 }
 
 // Figure6 compares naive and stack-based scheduling on the N-queens
-// programs at the given node count.
+// programs at the given node count. Problem sizes run concurrently across
+// GOMAXPROCS; row order matches the input sizes.
 func Figure6(ns []int, procs int, seed int64) ([]Figure6Row, error) {
-	var out []Figure6Row
-	for _, n := range ns {
+	out := make([]Figure6Row, len(ns))
+	err := forEachIndexed(len(ns), func(i int) error {
+		n := ns[i]
 		st, err := nqueens.Run(nqueens.Options{N: n, Nodes: procs, Seed: seed, Policy: abcl.StackBased})
 		if err != nil {
-			return nil, fmt.Errorf("exp: figure 6 N=%d stack: %w", n, err)
+			return fmt.Errorf("exp: figure 6 N=%d stack: %w", n, err)
 		}
 		nv, err := nqueens.Run(nqueens.Options{N: n, Nodes: procs, Seed: seed, Policy: abcl.Naive})
 		if err != nil {
-			return nil, fmt.Errorf("exp: figure 6 N=%d naive: %w", n, err)
+			return fmt.Errorf("exp: figure 6 N=%d naive: %w", n, err)
 		}
-		out = append(out, Figure6Row{
+		out[i] = Figure6Row{
 			N:           n,
 			NaiveMs:     nv.Elapsed.Millis(),
 			StackMs:     st.Elapsed.Millis(),
 			SpeedupPct:  100 * (float64(nv.Elapsed)/float64(st.Elapsed) - 1),
 			DormantFrac: st.Stats.DormantFraction(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -67,8 +67,8 @@ func TestSendDropAndDuplicate(t *testing.T) {
 	if src.PacketsDropped != 1 || src.PacketsDuped != 1 {
 		t.Errorf("node counters drops=%d dups=%d, want 1/1", src.PacketsDropped, src.PacketsDuped)
 	}
-	if m.TotalDropped != 1 || m.TotalDuped != 1 {
-		t.Errorf("machine counters drops=%d dups=%d, want 1/1", m.TotalDropped, m.TotalDuped)
+	if m.TotalDropped() != 1 || m.TotalDuped() != 1 {
+		t.Errorf("machine counters drops=%d dups=%d, want 1/1", m.TotalDropped(), m.TotalDuped())
 	}
 	// All three attempts count as sent exactly once.
 	if src.PacketsSent != 3 {
@@ -124,7 +124,7 @@ func TestNilFaultsUnchanged(t *testing.T) {
 	if err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if n != 1 || m.TotalDropped != 0 || m.TotalDuped != 0 {
-		t.Fatalf("fault-free delivery broken: n=%d dropped=%d duped=%d", n, m.TotalDropped, m.TotalDuped)
+	if n != 1 || m.TotalDropped() != 0 || m.TotalDuped() != 0 {
+		t.Fatalf("fault-free delivery broken: n=%d dropped=%d duped=%d", n, m.TotalDropped(), m.TotalDuped())
 	}
 }

@@ -143,6 +143,40 @@ type Packet struct {
 	// Handler is consumed entirely at the controller and never enters the
 	// receive queue.
 	OnArrive func(n *Node, p *Packet)
+
+	// pooled marks packets obtained from AcquirePacket; the machine
+	// recycles them into the receiving node's free list once consumed.
+	// Packets built as plain literals are never recycled.
+	pooled bool
+}
+
+// Retain removes p from pool management: the machine will not recycle or
+// clear it after its handler runs. Handlers that store a packet beyond the
+// handler call (e.g. a reorder buffer) must call Retain first.
+func (p *Packet) Retain() { p.pooled = false }
+
+// AcquirePacket returns a zeroed packet from the node's free list (or a new
+// one), marked for recycling at the receiver once its handler has run.
+func (n *Node) AcquirePacket() *Packet {
+	if last := len(n.pktFree) - 1; last >= 0 {
+		p := n.pktFree[last]
+		n.pktFree[last] = nil
+		n.pktFree = n.pktFree[:last]
+		p.pooled = true
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// ReleasePacket returns a pooled packet to this node's free list. Calling
+// it on a non-pooled (or retained) packet is a no-op, so it is always safe
+// after a handler has run.
+func (n *Node) ReleasePacket(p *Packet) {
+	if !p.pooled {
+		return
+	}
+	*p = Packet{}
+	n.pktFree = append(n.pktFree, p)
 }
 
 // Runner is the per-node scheduler installed by the language runtime.
@@ -160,7 +194,9 @@ type Node struct {
 	Busy  sim.Time // accumulated compute time, for utilization
 
 	m             *Machine
+	lane          int       // engine event lane (node ID + 1; lane 0 is the host)
 	rx            []*Packet // delivered packets awaiting poll, in arrival order
+	pktFree       []*Packet // recycled packets available to AcquirePacket
 	lastArrival   []sim.Time
 	Runner        Runner
 	resumePending bool
@@ -187,11 +223,49 @@ type Machine struct {
 	faults    FaultModel
 	faultSink FaultSink
 
-	// Global counters.
-	TotalPackets uint64
-	TotalBytes   uint64
-	TotalDropped uint64 // packets lost to injected link faults
-	TotalDuped   uint64 // extra packet copies injected by link faults
+	// Typed event kinds registered with the engine, so the hot delivery
+	// and scheduling paths dispatch through a switch instead of allocating
+	// a captured closure per event.
+	deliverKind sim.Kind // arg: *Packet, fires on the destination's lane
+	resumeKind  sim.Kind // arg: *Node, fires on the node's own lane
+}
+
+// TotalPackets returns the machine-wide count of transmitted packets.
+func (m *Machine) TotalPackets() uint64 {
+	var t uint64
+	for _, n := range m.nodes {
+		t += n.PacketsSent
+	}
+	return t
+}
+
+// TotalBytes returns the machine-wide count of transmitted bytes.
+func (m *Machine) TotalBytes() uint64 {
+	var t uint64
+	for _, n := range m.nodes {
+		t += n.BytesSent
+	}
+	return t
+}
+
+// TotalDropped returns the machine-wide count of packets lost to injected
+// link faults.
+func (m *Machine) TotalDropped() uint64 {
+	var t uint64
+	for _, n := range m.nodes {
+		t += n.PacketsDropped
+	}
+	return t
+}
+
+// TotalDuped returns the machine-wide count of extra packet copies injected
+// by link faults.
+func (m *Machine) TotalDuped() uint64 {
+	var t uint64
+	for _, n := range m.nodes {
+		t += n.PacketsDuped
+	}
+	return t
 }
 
 // New builds a machine from cfg. It validates the topology against the node
@@ -220,11 +294,22 @@ func New(cfg Config) (*Machine, error) {
 		Eng:        sim.NewEngine(),
 		nsPerInstr: cfg.NsPerInstr(),
 	}
+	// One event lane per node plus lane 0 for the host; typed kinds keep
+	// the per-packet and per-turn scheduling allocation-free.
+	m.Eng.SetLanes(cfg.Nodes + 1)
+	m.deliverKind = m.Eng.RegisterHandler(func(at sim.Time, arg any) {
+		p := arg.(*Packet)
+		m.nodes[p.Dst].deliver(p)
+	})
+	m.resumeKind = m.Eng.RegisterHandler(func(at sim.Time, arg any) {
+		arg.(*Node).resumeAt(at)
+	})
 	m.nodes = make([]*Node, cfg.Nodes)
 	for i := range m.nodes {
 		m.nodes[i] = &Node{
 			ID:          i,
 			m:           m,
+			lane:        i + 1,
 			lastArrival: make([]sim.Time, cfg.Nodes),
 		}
 	}
@@ -249,6 +334,23 @@ func (m *Machine) Nodes() int { return len(m.nodes) }
 // Run drives the simulation until quiescence (no pending events).
 func (m *Machine) Run() error {
 	_, err := m.Eng.Run()
+	return err
+}
+
+// Lookahead returns the minimum latency of any cross-node packet: the
+// fixed wire cost plus one routing hop. Every cross-node effect lands at
+// least this far ahead of the sending node's clock, which is what makes
+// conservative parallel execution windows safe.
+func (m *Machine) Lookahead() sim.Time {
+	return m.Cfg.Net.FixedNs + m.Cfg.Net.HopNs
+}
+
+// ParallelRun drives the simulation to quiescence like Run, executing
+// independent node lanes concurrently on up to workers goroutines inside
+// conservative virtual-time windows bounded by the network lookahead.
+// Results are identical to Run.
+func (m *Machine) ParallelRun(workers int) error {
+	_, err := m.Eng.RunParallel(workers, m.Lookahead())
 	return err
 }
 
@@ -351,8 +453,6 @@ func (n *Node) sendAt(at sim.Time, p *Packet) sim.Time {
 
 	n.PacketsSent++
 	n.BytesSent += uint64(p.Size)
-	n.m.TotalPackets++
-	n.m.TotalBytes += uint64(p.Size)
 
 	// Consult the fault model: one extra-latency entry per physical copy.
 	copies := oneCopy
@@ -361,10 +461,11 @@ func (n *Node) sendAt(at sim.Time, p *Packet) sim.Time {
 	}
 	if len(copies) == 0 {
 		n.PacketsDropped++
-		n.m.TotalDropped++
 		if n.m.faultSink != nil {
 			n.m.faultSink.PacketDropped(n.ID, p.Dst, at, p.Category)
 		}
+		// The packet never reaches a receiver, so the sender recycles it.
+		n.ReleasePacket(p)
 		return Dropped
 	}
 	first := Dropped
@@ -374,7 +475,6 @@ func (n *Node) sendAt(at sim.Time, p *Packet) sim.Time {
 			dup := *p
 			cp = &dup
 			n.PacketsDuped++
-			n.m.TotalDuped++
 			if n.m.faultSink != nil {
 				n.m.faultSink.PacketDuplicated(n.ID, p.Dst, at, p.Category)
 			}
@@ -391,8 +491,7 @@ func (n *Node) sendAt(at sim.Time, p *Packet) sim.Time {
 		if i == 0 {
 			first = arrival
 		}
-		d := cp
-		n.m.Eng.Schedule(arrival, func() { dst.deliver(d) })
+		n.m.Eng.ScheduleOn(n.lane, dst.lane, arrival, n.m.deliverKind, cp)
 	}
 	return first
 }
@@ -412,6 +511,8 @@ func (n *Node) deliver(p *Packet) {
 	if p.OnArrive != nil {
 		p.OnArrive(n, p)
 		if p.Handler == nil {
+			// Consumed entirely at the controller: recycle here.
+			n.ReleasePacket(p)
 			return
 		}
 	}
@@ -429,21 +530,28 @@ func (n *Node) Wake() { n.ensureResume() }
 // Now returns the node's local virtual clock.
 func (n *Node) Now() sim.Time { return n.Clock }
 
+// EventNow returns the virtual time of the node's lane: the timestamp of
+// the event currently firing on it. Unlike Engine.Now, it is safe from
+// handlers running inside a ParallelRun window.
+func (n *Node) EventNow() sim.Time { return n.m.Eng.LaneNow(n.lane) }
+
+// Lane returns the node's engine event lane.
+func (n *Node) Lane() int { return n.lane }
+
 func (n *Node) ensureResume() {
 	if n.resumePending || n.inResume {
 		return
 	}
 	n.resumePending = true
-	n.m.Eng.Schedule(n.Clock, n.resume)
+	n.m.Eng.ScheduleOn(n.lane, n.lane, n.Clock, n.m.resumeKind, n)
 }
 
-// resume is one node turn: poll arrived packets, run one scheduler quantum,
-// and reschedule if work remains. Keeping turns small interleaves node
-// progress correctly in virtual time.
-func (n *Node) resume() {
+// resumeAt is one node turn, fired at virtual time now: poll arrived
+// packets, run one scheduler quantum, and reschedule if work remains.
+// Keeping turns small interleaves node progress correctly in virtual time.
+func (n *Node) resumeAt(now sim.Time) {
 	n.resumePending = false
 	if f := n.m.faults; f != nil {
-		now := n.m.Eng.Now()
 		if until := f.PausedUntil(n.ID, now); until > now {
 			// The node is inside an injected pause window: defer this turn
 			// to the window's end. Arriving packets keep buffering in rx.
@@ -451,13 +559,13 @@ func (n *Node) resume() {
 				n.m.faultSink.NodePaused(n.ID, now, until)
 			}
 			n.resumePending = true
-			n.m.Eng.Schedule(until, func() {
+			n.m.Eng.ScheduleFuncOn(n.lane, n.lane, until, func() {
 				// The pause consumed real (virtual) time on this node, but
 				// no busy time: advance the clock without accruing work.
 				if n.Clock < until {
 					n.Clock = until
 				}
-				n.resume()
+				n.resumeAt(until)
 			})
 			return
 		}
@@ -477,16 +585,19 @@ func (n *Node) resume() {
 // Poll dispatches all arrived packets to their attached handlers, in
 // arrival order. Handlers run on this node and may advance its clock.
 func (n *Node) Poll() {
-	for len(n.rx) > 0 {
-		p := n.rx[0]
-		copy(n.rx, n.rx[1:])
-		n.rx[len(n.rx)-1] = nil
-		n.rx = n.rx[:len(n.rx)-1]
+	// Cursor walk instead of shifting the queue per packet: handlers never
+	// deliver synchronously (delivery is an engine event), but the bound is
+	// re-read each iteration in case that ever changes.
+	for i := 0; i < len(n.rx); i++ {
+		p := n.rx[i]
+		n.rx[i] = nil
 		n.PacketsRecvd++
 		if p.Handler != nil {
 			p.Handler(n, p)
 		}
+		n.ReleasePacket(p)
 	}
+	n.rx = n.rx[:0]
 }
 
 // PendingRx reports the number of delivered-but-unpolled packets.

@@ -119,8 +119,8 @@ func TestSendDeliversWithLatency(t *testing.T) {
 	if dst.PacketsRecvd != 1 || src.PacketsSent != 1 {
 		t.Error("packet counters not updated")
 	}
-	if m.TotalPackets != 1 {
-		t.Errorf("machine total packets = %d, want 1", m.TotalPackets)
+	if m.TotalPackets() != 1 {
+		t.Errorf("machine total packets = %d, want 1", m.TotalPackets())
 	}
 }
 

@@ -215,6 +215,9 @@ type parRemote Exec
 func (x *parRemote) SendMessage(n *core.NodeRT, to core.Address, p core.PatternID, args []core.Value, replyTo core.Address) {
 	ex := (*Exec)(x)
 	target := to.Node
+	// The core stages args in a per-node scratch buffer that is reused by
+	// the next remote send; snapshot before the envelope crosses goroutines.
+	args = append([]core.Value(nil), args...)
 	ex.push(target, func() {
 		ex.RT.NodeRT(target).DeliverFrame(to.Obj, &core.Frame{Pattern: p, Args: args, ReplyTo: replyTo}, true)
 	})

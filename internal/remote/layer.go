@@ -83,10 +83,148 @@ type Layer struct {
 	nodes []*nodeState
 	rel   *reliable // nil unless Options.Reliable
 
-	// Counters (whole machine).
-	MsgsSent    uint64 // category 1
-	CreatesSent uint64 // category 2
-	ChunksSent  uint64 // category 3
+	// hWire is the shared receive handler for all layer packets; the
+	// per-send state travels in the packet's Payload as a *wireMsg instead
+	// of a freshly allocated closure.
+	hWire func(*machine.Node, *machine.Packet)
+}
+
+// wireMsg is the decoded payload of one layer packet. Records are pooled:
+// the sender fills one from its node's free list, the receive handler
+// recycles it into the receiving node's — they migrate between per-node
+// pools exactly like the packets that carry them, so each pool is only
+// touched by its own lane. Recycling is skipped when the machine can
+// duplicate packets (see wirePooled): a duplicated packet shares the record
+// and the handler runs once per copy.
+type wireMsg struct {
+	kind      uint8
+	src       int
+	load      int32
+	to        core.Address   // wmMessage: receiver
+	pat       core.PatternID // wmMessage: pattern
+	args      []core.Value   // message or constructor arguments (owned copy)
+	argBuf    [2]core.Value  // inline store backing args for small lists
+	replyTo   core.Address
+	chunk     *core.Object // wmCreate: chunk to initialize; wmChunk: stock refill
+	cl        *core.Class
+	entry     *stockEntry        // requester's stock slot, carried through the round trip
+	then      func()             // wmChunk: blocked-creation resume
+	onCreated func(core.Address) // wmBlockingCreate: requester callback
+}
+
+const (
+	wmMessage = uint8(iota + 1)
+	wmCreate
+	wmBlockingCreate
+	wmChunk
+)
+
+// setArgs copies args into the record — inline when they fit, a fresh slice
+// otherwise. Senders hand the layer a transient slice (core.Remote's
+// SendMessage contract stages arguments in a per-node scratch buffer), so
+// the record must own its copy until delivery.
+func (w *wireMsg) setArgs(args []core.Value) {
+	switch {
+	case len(args) == 0:
+		w.args = nil
+	case len(args) <= len(w.argBuf):
+		nc := copy(w.argBuf[:], args)
+		w.args = w.argBuf[:nc:nc]
+	default:
+		w.args = append([]core.Value(nil), args...)
+	}
+}
+
+// wirePooled reports whether wireMsg records may be recycled: safe unless a
+// fault model can hand a duplicated packet (and its shared Payload record)
+// to the handler twice. The reliable protocol deduplicates by sequence
+// number before the handler runs, so it restores pooling under faults.
+func (l *Layer) wirePooled() bool {
+	return l.m.Faults() == nil || l.rel != nil
+}
+
+func (l *Layer) acquireWire(src int) *wireMsg {
+	ns := l.nodes[src]
+	if last := len(ns.wireFree) - 1; last >= 0 {
+		w := ns.wireFree[last]
+		ns.wireFree[last] = nil
+		ns.wireFree = ns.wireFree[:last]
+		return w
+	}
+	return &wireMsg{}
+}
+
+func (l *Layer) releaseWire(dst int, w *wireMsg) {
+	if !l.wirePooled() {
+		return
+	}
+	*w = wireMsg{}
+	ns := l.nodes[dst]
+	ns.wireFree = append(ns.wireFree, w)
+}
+
+// handleWire is the single receive-side dispatcher for categories 1-3: the
+// compiler-generated specialized handlers of Section 5.1, indexed by the
+// payload's kind tag rather than modelled as per-send closures.
+func (l *Layer) handleWire(rn *machine.Node, p *machine.Packet) {
+	w := p.Payload.(*wireMsg)
+	c := l.cost()
+	l.noteLoad(rn.ID, w.src, w.load)
+	nrt := l.rt.NodeRT(rn.ID)
+	switch w.kind {
+	case wmMessage:
+		rn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall)
+		nrt.DeliverFrame(w.to.Obj, nrt.NewFrame(w.pat, w.args, w.replyTo), true)
+	case wmCreate:
+		rn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall + c.ChunkInit)
+		l.rt.InitChunk(nrt, w.chunk, w.cl, w.args)
+		// Step 4: allocate the replacement chunk and return its address.
+		rn.Charge(c.ChunkRefill)
+		l.sendChunkReply(nrt, w.src, l.rt.NewFaultChunk(rn.ID), w.entry, nil)
+	case wmBlockingCreate:
+		rn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall + c.ChunkInit)
+		created := l.rt.NewFaultChunk(rn.ID)
+		l.rt.InitChunk(nrt, created, w.cl, w.args)
+		rn.Charge(c.ChunkRefill)
+		addr := created.Addr()
+		onCreated := w.onCreated
+		l.sendChunkReply(nrt, w.src, l.rt.NewFaultChunk(rn.ID), w.entry, func() { onCreated(addr) })
+	case wmChunk:
+		rn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall + c.StockPush)
+		if l.opt.StockDepth > 0 {
+			// The stock is capped at its configured depth: a chunk that
+			// would overfill it (after a miss) is simply dropped back to
+			// the target's allocator. The entry pointer is the requester's
+			// own slot, carried through the round trip — and this packet is
+			// addressed to the requester, so the append stays lane-local.
+			if e := w.entry; len(e.chunks) < l.opt.StockDepth {
+				e.chunks = append(e.chunks, w.chunk)
+			}
+		}
+		if w.then != nil {
+			w.then()
+		}
+	default:
+		panic(fmt.Sprintf("remote: unknown wire kind %d", w.kind))
+	}
+	l.releaseWire(rn.ID, w)
+}
+
+// MsgsSent returns the machine-wide count of category-1 sends.
+func (l *Layer) MsgsSent() uint64 { return l.sumCounter(0) }
+
+// CreatesSent returns the machine-wide count of category-2 sends.
+func (l *Layer) CreatesSent() uint64 { return l.sumCounter(1) }
+
+// ChunksSent returns the machine-wide count of category-3 sends.
+func (l *Layer) ChunksSent() uint64 { return l.sumCounter(2) }
+
+func (l *Layer) sumCounter(i int) uint64 {
+	var t uint64
+	for _, ns := range l.nodes {
+		t += ns.sent[i]
+	}
+	return t
 }
 
 type stockKey struct {
@@ -94,14 +232,34 @@ type stockKey struct {
 	cls  *core.Class
 }
 
+// stockEntry is one node's chunk stock for a (target, class) pair. It is
+// looked up once per remote creation; the refill round trip carries the
+// entry pointer itself, so the category-2/3 handlers touch no maps.
+type stockEntry struct {
+	seeded bool
+	chunks []*core.Object
+}
+
+// stockEntry returns (creating on first use) the stock slot for key.
+func (ns *nodeState) stockEntry(key stockKey) *stockEntry {
+	e := ns.stock[key]
+	if e == nil {
+		e = &stockEntry{}
+		ns.stock[key] = e
+	}
+	return e
+}
+
 type nodeState struct {
 	id     int
 	rr     int
 	rrNext int
 	rng    uint64
-	stock  map[stockKey][]*core.Object
-	seeded map[stockKey]bool
-	loads  []int32 // last known scheduling-queue lengths, piggybacked
+	stock  map[stockKey]*stockEntry
+	loads  []int32   // last known scheduling-queue lengths, piggybacked
+	sent   [3]uint64 // category 1/2/3 sends, node-local (lane-safe)
+
+	wireFree []*wireMsg // recycled payload records (lane-local)
 }
 
 func (ns *nodeState) nextRand() uint64 {
@@ -128,14 +286,14 @@ func Attach(rt *core.Runtime, opt Options) *Layer {
 		opt.Placement = RoundRobin{}
 	}
 	l := &Layer{rt: rt, m: rt.M, opt: opt}
+	l.hWire = l.handleWire
 	l.nodes = make([]*nodeState, rt.Nodes())
 	for i := range l.nodes {
 		l.nodes[i] = &nodeState{
-			id:     i,
-			rng:    uint64(opt.Seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + 1,
-			stock:  make(map[stockKey][]*core.Object),
-			seeded: make(map[stockKey]bool),
-			loads:  make([]int32, rt.Nodes()),
+			id:    i,
+			rng:   uint64(opt.Seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + 1,
+			stock: make(map[stockKey]*stockEntry),
+			loads: make([]int32, rt.Nodes()),
 		}
 	}
 	if opt.Reliable {
@@ -215,25 +373,29 @@ func (l *Layer) noteLoad(dst, src int, load int32) {
 // travel on the wire (Section 5.1).
 func (l *Layer) SendMessage(n *core.NodeRT, to core.Address, p core.PatternID, args []core.Value, replyTo core.Address) {
 	c := l.cost()
-	n.MachineNode().Charge(c.RemoteSendSetup)
-	l.MsgsSent++
+	mn := n.MachineNode()
+	mn.Charge(c.RemoteSendSetup)
+	l.nodes[n.ID()].sent[0]++
 	size := packetHeaderBytes + core.ArgsSize(args)
 	if !replyTo.IsNil() {
 		size += 8
 	}
-	load := l.piggyback(n.ID())
 	src := n.ID()
-	l.transmit(n.MachineNode(), &machine.Packet{
-		Dst:      to.Node,
-		Size:     size,
-		Category: CatMessage,
-		Handler: func(mn *machine.Node, pkt *machine.Packet) {
-			mn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall)
-			l.noteLoad(mn.ID, src, load)
-			nrt := l.rt.NodeRT(mn.ID)
-			nrt.DeliverFrame(to.Obj, &core.Frame{Pattern: p, Args: args, ReplyTo: replyTo}, true)
-		},
-	})
+	w := l.acquireWire(src)
+	w.kind = wmMessage
+	w.src = src
+	w.load = l.piggyback(src)
+	w.to = to
+	w.pat = p
+	w.setArgs(args)
+	w.replyTo = replyTo
+	pkt := mn.AcquirePacket()
+	pkt.Dst = to.Node
+	pkt.Size = size
+	pkt.Category = CatMessage
+	pkt.Handler = l.hWire
+	pkt.Payload = w
+	l.transmit(mn, pkt)
 }
 
 // Create implements core.Remote: remote object creation with latency hiding
@@ -255,26 +417,26 @@ func (l *Layer) CreateOn(ctx *core.Ctx, target int, cl *core.Class, ctorArgs []c
 	n := ctx.NodeRT()
 	c := l.cost()
 	ns := l.nodes[n.ID()]
-	key := stockKey{node: target, cls: cl}
+	e := ns.stockEntry(stockKey{node: target, cls: cl})
 
-	if !ns.seeded[key] && l.opt.StockDepth > 0 {
+	if !e.seeded && l.opt.StockDepth > 0 {
 		// Pre-delivery: at boot every node receives an initial stock of
 		// chunk addresses for its peers. Modelled as already present (the
 		// paper's "predelivered stocks"), materialized on first use to keep
 		// memory proportional to the pairs actually communicating.
-		ns.seeded[key] = true
+		e.seeded = true
 		for i := 0; i < l.opt.StockDepth; i++ {
-			ns.stock[key] = append(ns.stock[key], l.rt.NewFaultChunk(target))
+			e.chunks = append(e.chunks, l.rt.NewFaultChunk(target))
 		}
 	}
 
-	if st := ns.stock[key]; len(st) > 0 {
-		chunk := st[len(st)-1]
-		ns.stock[key] = st[:len(st)-1]
+	if len(e.chunks) > 0 {
+		chunk := e.chunks[len(e.chunks)-1]
+		e.chunks = e.chunks[:len(e.chunks)-1]
 		n.MachineNode().Charge(c.StockPop)
 		n.C.StockHits++
 		n.C.RemoteCreations++
-		l.sendCreateRequest(n, target, chunk, cl, ctorArgs, key)
+		l.sendCreateRequest(n, target, chunk, cl, ctorArgs, e)
 		// Step 1 of the protocol: the mail address is known locally, before
 		// the creation message even departs — latency hidden, no context
 		// switch.
@@ -288,7 +450,7 @@ func (l *Layer) CreateOn(ctx *core.Ctx, target int, cl *core.Class, ctorArgs []c
 	n.C.RemoteCreations++
 	self := ctx.SelfObject()
 	frame := ctx.CurrentFrame()
-	l.sendBlockingCreate(n, target, cl, ctorArgs, key, func(addr core.Address) {
+	l.sendBlockingCreate(n, target, cl, ctorArgs, e, func(addr core.Address) {
 		n.ResumeSaved(self, frame, func(ctx2 *core.Ctx) { k(ctx2, addr) })
 	})
 	ctx.BlockExternal()
@@ -298,92 +460,85 @@ func (l *Layer) CreateOn(ctx *core.Ctx, target int, cl *core.Class, ctorArgs []c
 // whose address the requester already holds. The target initializes the
 // chunk (class-specific handler), allocates a replacement chunk, and sends
 // its address back as a category-3 reply.
-func (l *Layer) sendCreateRequest(n *core.NodeRT, target int, chunk *core.Object, cl *core.Class, ctorArgs []core.Value, key stockKey) {
-	c := l.cost()
-	n.MachineNode().Charge(c.RemoteSendSetup)
-	l.CreatesSent++
+func (l *Layer) sendCreateRequest(n *core.NodeRT, target int, chunk *core.Object, cl *core.Class, ctorArgs []core.Value, e *stockEntry) {
+	sn := n.MachineNode()
+	sn.Charge(l.cost().RemoteSendSetup)
+	l.nodes[n.ID()].sent[1]++
 	src := n.ID()
-	load := l.piggyback(src)
-	l.transmit(n.MachineNode(), &machine.Packet{
-		Dst:      target,
-		Size:     packetHeaderBytes + 8 + core.ArgsSize(ctorArgs),
-		Category: CatCreate,
-		Handler: func(mn *machine.Node, pkt *machine.Packet) {
-			mn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall + c.ChunkInit)
-			l.noteLoad(mn.ID, src, load)
-			nrt := l.rt.NodeRT(mn.ID)
-			l.rt.InitChunk(nrt, chunk, cl, ctorArgs)
-			// Step 4: allocate the replacement chunk and return its address.
-			mn.Charge(c.ChunkRefill)
-			replacement := l.rt.NewFaultChunk(mn.ID)
-			l.sendChunkReply(nrt, src, replacement, key, nil)
-		},
-	})
+	w := l.acquireWire(src)
+	w.kind = wmCreate
+	w.src = src
+	w.load = l.piggyback(src)
+	w.chunk = chunk
+	w.cl = cl
+	w.setArgs(ctorArgs)
+	w.entry = e
+	pkt := sn.AcquirePacket()
+	pkt.Dst = target
+	pkt.Size = packetHeaderBytes + 8 + core.ArgsSize(ctorArgs)
+	pkt.Category = CatCreate
+	pkt.Handler = l.hWire
+	pkt.Payload = w
+	l.transmit(sn, pkt)
 }
 
 // sendBlockingCreate is the stock-miss path: a category-2 request without a
 // pre-held chunk. The target allocates, initializes, and replies with both
 // the created object's address and a replacement chunk for the stock.
-func (l *Layer) sendBlockingCreate(n *core.NodeRT, target int, cl *core.Class, ctorArgs []core.Value, key stockKey, onCreated func(core.Address)) {
-	c := l.cost()
-	n.MachineNode().Charge(c.RemoteSendSetup)
-	l.CreatesSent++
+func (l *Layer) sendBlockingCreate(n *core.NodeRT, target int, cl *core.Class, ctorArgs []core.Value, e *stockEntry, onCreated func(core.Address)) {
+	sn := n.MachineNode()
+	sn.Charge(l.cost().RemoteSendSetup)
+	l.nodes[n.ID()].sent[1]++
 	src := n.ID()
-	load := l.piggyback(src)
-	l.transmit(n.MachineNode(), &machine.Packet{
-		Dst:      target,
-		Size:     packetHeaderBytes + core.ArgsSize(ctorArgs),
-		Category: CatCreate,
-		Handler: func(mn *machine.Node, pkt *machine.Packet) {
-			mn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall + c.ChunkInit)
-			l.noteLoad(mn.ID, src, load)
-			nrt := l.rt.NodeRT(mn.ID)
-			created := l.rt.NewFaultChunk(mn.ID)
-			l.rt.InitChunk(nrt, created, cl, ctorArgs)
-			mn.Charge(c.ChunkRefill)
-			replacement := l.rt.NewFaultChunk(mn.ID)
-			addr := created.Addr()
-			l.sendChunkReply(nrt, src, replacement, key, func() { onCreated(addr) })
-		},
-	})
+	w := l.acquireWire(src)
+	w.kind = wmBlockingCreate
+	w.src = src
+	w.load = l.piggyback(src)
+	w.cl = cl
+	w.setArgs(ctorArgs)
+	w.entry = e
+	w.onCreated = onCreated
+	pkt := sn.AcquirePacket()
+	pkt.Dst = target
+	pkt.Size = packetHeaderBytes + core.ArgsSize(ctorArgs)
+	pkt.Category = CatCreate
+	pkt.Handler = l.hWire
+	pkt.Payload = w
+	l.transmit(sn, pkt)
 }
 
 // sendChunkReply is the category-3 handler: deliver a replacement chunk
 // address to the requester's stock, and optionally resume a creation that
 // blocked on an empty stock.
-func (l *Layer) sendChunkReply(n *core.NodeRT, requester int, chunk *core.Object, key stockKey, then func()) {
-	c := l.cost()
-	n.MachineNode().Charge(c.RemoteSendSetup)
-	l.ChunksSent++
+func (l *Layer) sendChunkReply(n *core.NodeRT, requester int, chunk *core.Object, e *stockEntry, then func()) {
+	sn := n.MachineNode()
+	sn.Charge(l.cost().RemoteSendSetup)
+	l.nodes[n.ID()].sent[2]++
 	src := n.ID()
-	load := l.piggyback(src)
-	l.transmit(n.MachineNode(), &machine.Packet{
-		Dst:      requester,
-		Size:     packetHeaderBytes + 8,
-		Category: CatChunk,
-		Handler: func(mn *machine.Node, pkt *machine.Packet) {
-			mn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall + c.StockPush)
-			l.noteLoad(mn.ID, src, load)
-			if l.opt.StockDepth > 0 {
-				ns := l.nodes[mn.ID]
-				// The stock is capped at its configured depth: a chunk that
-				// would overfill it (after a miss) is simply dropped back to
-				// the target's allocator.
-				if st := ns.stock[key]; len(st) < l.opt.StockDepth {
-					ns.stock[key] = append(st, chunk)
-				}
-			}
-			if then != nil {
-				then()
-			}
-		},
-	})
+	w := l.acquireWire(src)
+	w.kind = wmChunk
+	w.src = src
+	w.load = l.piggyback(src)
+	w.chunk = chunk
+	w.entry = e
+	w.then = then
+	pkt := sn.AcquirePacket()
+	pkt.Dst = requester
+	pkt.Size = packetHeaderBytes + 8
+	pkt.Category = CatChunk
+	pkt.Handler = l.hWire
+	pkt.Payload = w
+	l.transmit(sn, pkt)
 }
 
 // StockLevel reports the current stock depth a node holds for a target/class
 // pair (for tests and reports).
 func (l *Layer) StockLevel(node, target int, cl *core.Class) int {
-	return len(l.nodes[node].stock[stockKey{node: target, cls: cl}])
+	e := l.nodes[node].stock[stockKey{node: target, cls: cl}]
+	if e == nil {
+		return 0
+	}
+	return len(e.chunks)
 }
 
 // String describes the layer configuration.

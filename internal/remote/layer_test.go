@@ -400,8 +400,8 @@ func TestLoadPiggybacking(t *testing.T) {
 	}
 	// Node 1 must have received node 0's (zero) load — the entry exists and
 	// was written; we can only observe non-panic and the counter here.
-	if l.MsgsSent != 1 {
-		t.Fatalf("category-1 sends = %d, want 1", l.MsgsSent)
+	if l.MsgsSent() != 1 {
+		t.Fatalf("category-1 sends = %d, want 1", l.MsgsSent())
 	}
 }
 
@@ -548,14 +548,14 @@ func TestCategoryCounters(t *testing.T) {
 	if err := rt.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if l.CreatesSent != 1 {
-		t.Errorf("category-2 sends = %d, want 1", l.CreatesSent)
+	if l.CreatesSent() != 1 {
+		t.Errorf("category-2 sends = %d, want 1", l.CreatesSent())
 	}
-	if l.ChunksSent != 1 {
-		t.Errorf("category-3 sends = %d, want 1", l.ChunksSent)
+	if l.ChunksSent() != 1 {
+		t.Errorf("category-3 sends = %d, want 1", l.ChunksSent())
 	}
-	if l.MsgsSent != 1 {
-		t.Errorf("category-1 sends = %d, want 1", l.MsgsSent)
+	if l.MsgsSent() != 1 {
+		t.Errorf("category-1 sends = %d, want 1", l.MsgsSent())
 	}
 }
 

@@ -38,23 +38,72 @@ const relHeaderBytes = 8
 // ackBytes is the wire size of an acknowledgment packet.
 const ackBytes = packetHeaderBytes + 8
 
-// relMsg is one unacknowledged in-flight message at its sender.
+// relMsg is one unacknowledged in-flight message at its sender. Records are
+// pooled per sender: the retransmission timer is embedded (re-armed in place,
+// never reallocated) and retryFn is built once, on first allocation.
 type relMsg struct {
 	dst      int
 	seq      uint64
 	size     int // wire size including relHeaderBytes
 	category int
 	inner    func(*machine.Node, *machine.Packet)
+	payload  any // forwarded to every attempt's packet
 	attempts int
 	acked    bool
-	timer    *sim.Timer
+	timer    sim.Timer
+	retryFn  func()
 }
 
-// relSender is the per-node sending half: sequence counters and the
-// retransmission buffer.
+// relSender is the per-node sending half: sequence counters, the
+// retransmission buffer, and the relMsg recycling pool.
 type relSender struct {
 	nextSeq []uint64             // per destination
 	pending []map[uint64]*relMsg // per destination: seq -> in-flight message
+
+	free []*relMsg // reusable records whose timer slot is resolved
+	// retired holds acknowledged records whose stopped timer slot is still
+	// queued in the lane heap; they migrate to free once the slot is popped
+	// or swept (re-arming a still-queued timer is illegal).
+	retired []*relMsg
+}
+
+// acquireMsg returns a recycled relMsg or allocates one with its retry
+// closure bound to this sender's node.
+func (r *reliable) acquireMsg(mn *machine.Node, s *relSender) *relMsg {
+	if len(s.retired) > 0 {
+		kept := s.retired[:0]
+		for _, m := range s.retired {
+			if m.timer.Pending() {
+				kept = append(kept, m)
+			} else {
+				s.free = append(s.free, m)
+			}
+		}
+		for i := len(kept); i < len(s.retired); i++ {
+			s.retired[i] = nil
+		}
+		s.retired = kept
+	}
+	if n := len(s.free); n > 0 {
+		m := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return m
+	}
+	m := &relMsg{}
+	m.retryFn = func() { r.retry(mn, m) }
+	return m
+}
+
+// releaseMsg recycles a finished (acked or abandoned) record.
+func (s *relSender) releaseMsg(m *relMsg) {
+	m.inner = nil
+	m.payload = nil
+	if m.timer.Pending() {
+		s.retired = append(s.retired, m)
+		return
+	}
+	s.free = append(s.free, m)
 }
 
 // relReceiver is the per-node receiving half: per-source cursor and reorder
@@ -124,13 +173,17 @@ func (r *reliable) send(mn *machine.Node, pkt *machine.Packet) {
 	s := r.senders[src]
 	seq := s.nextSeq[dst]
 	s.nextSeq[dst]++
-	m := &relMsg{
-		dst:      dst,
-		seq:      seq,
-		size:     pkt.Size + relHeaderBytes,
-		category: pkt.Category,
-		inner:    pkt.Handler,
-	}
+	m := r.acquireMsg(mn, s)
+	m.dst = dst
+	m.seq = seq
+	m.size = pkt.Size + relHeaderBytes
+	m.category = pkt.Category
+	m.inner = pkt.Handler
+	m.payload = pkt.Payload
+	m.attempts = 0
+	m.acked = false
+	// Per-attempt copies are built in xmit; the caller's packet is done.
+	mn.ReleasePacket(pkt)
 	if s.pending[dst] == nil {
 		s.pending[dst] = make(map[uint64]*relMsg)
 	}
@@ -144,20 +197,24 @@ func (r *reliable) send(mn *machine.Node, pkt *machine.Packet) {
 func (r *reliable) xmit(mn *machine.Node, m *relMsg) {
 	src := mn.ID
 	seq := m.seq
-	arrival := mn.Send(&machine.Packet{
-		Dst:      m.dst,
-		Size:     m.size,
-		Category: m.category,
-		// The receiving message controller acknowledges every physical
-		// copy the instant it arrives, independent of how backlogged or
-		// paused the receiving processor is.
-		OnArrive: func(rn *machine.Node, p *machine.Packet) {
-			r.sendAck(rn, src, seq, p.Arrival)
-		},
-		Handler: func(rn *machine.Node, p *machine.Packet) {
-			r.receive(rn, src, seq, m.inner, p)
-		},
-	})
+	// Capture inner locally: a straggler copy of this attempt may arrive
+	// after m has been recycled for a different message.
+	inner := m.inner
+	p := mn.AcquirePacket()
+	p.Dst = m.dst
+	p.Size = m.size
+	p.Category = m.category
+	p.Payload = m.payload
+	// The receiving message controller acknowledges every physical
+	// copy the instant it arrives, independent of how backlogged or
+	// paused the receiving processor is.
+	p.OnArrive = func(rn *machine.Node, p *machine.Packet) {
+		r.sendAck(rn, src, seq, p.Arrival)
+	}
+	p.Handler = func(rn *machine.Node, p *machine.Packet) {
+		r.receive(rn, src, seq, inner, p)
+	}
+	arrival := mn.Send(p)
 	backoff := r.rto << uint(m.attempts)
 	if backoff > r.maxBackoff || backoff <= 0 {
 		backoff = r.maxBackoff
@@ -166,10 +223,10 @@ func (r *reliable) xmit(mn *machine.Node, m *relMsg) {
 	// link queueing), not the send instant — a congested link must not
 	// trigger spurious retransmissions. A dropped copy times out from now.
 	delay := backoff
-	if now := r.l.m.Eng.Now(); arrival > now {
+	if now := mn.EventNow(); arrival > now {
 		delay += arrival - now
 	}
-	m.timer = r.l.m.Eng.AfterTimer(delay, func() { r.retry(mn, m) })
+	r.l.m.Eng.StartTimer(mn.Lane(), mn.Lane(), &m.timer, delay, m.retryFn)
 }
 
 // retry fires when the ack timer expires: retransmit with backoff, or
@@ -183,16 +240,18 @@ func (r *reliable) retry(mn *machine.Node, m *relMsg) {
 		// Give up loudly: the message counts as lost so scenario assertions
 		// and LostMessages() surface it.
 		c.RelAbandoned++
-		delete(r.senders[mn.ID].pending[m.dst], m.seq)
-		r.l.tracef(r.l.m.Eng.Now(), mn.ID, trace.EvRetry,
+		s := r.senders[mn.ID]
+		delete(s.pending[m.dst], m.seq)
+		r.l.tracef(mn.EventNow(), mn.ID, trace.EvRetry,
 			"abandon seq %d to n%d after %d attempts", m.seq, m.dst, r.maxAttempts)
+		s.releaseMsg(m)
 		return
 	}
 	m.attempts++
 	c.Retransmits++
 	// The timer expired on a possibly idle node: bring its clock up to the
 	// timeout instant, then charge the software cost of the retransmission.
-	mn.SyncClock(r.l.m.Eng.Now())
+	mn.SyncClock(mn.EventNow())
 	mn.Charge(r.l.cost().RemoteSendSetup)
 	r.l.tracef(mn.Now(), mn.ID, trace.EvRetry,
 		"retransmit seq %d to n%d (attempt %d)", m.seq, m.dst, m.attempts+1)
@@ -234,6 +293,8 @@ func (r *reliable) receive(rn *machine.Node, src int, seq uint64, inner func(*ma
 			r.l.tracef(rn.Now(), rn.ID, trace.EvDupMsg, "drop dup held seq %d from n%d", seq, src)
 			return
 		}
+		// The packet outlives this handler; keep it out of the pool.
+		pkt.Retain()
 		rv.held[src][seq] = &heldDelivery{inner: inner, pkt: pkt}
 		c.HeldOutOfOrder++
 		r.l.tracef(rn.Now(), rn.ID, trace.EvHold,
@@ -276,11 +337,10 @@ func (r *reliable) ackReceived(sn *machine.Node, dst int, seq uint64) {
 		return
 	}
 	m.acked = true
-	if m.timer != nil {
-		m.timer.Stop()
-	}
+	m.timer.Stop()
 	delete(pending, seq)
-	r.l.tracef(r.l.m.Eng.Now(), sn.ID, trace.EvAck, "acked seq %d by n%d", seq, dst)
+	s.releaseMsg(m)
+	r.l.tracef(sn.EventNow(), sn.ID, trace.EvAck, "acked seq %d by n%d", seq, dst)
 }
 
 // Unacked reports the number of in-flight (sent but unacknowledged)
