@@ -1,13 +1,14 @@
 # Convenience targets for the ABCL/onAP1000 reproduction.
 #
-#   make tier1           build + full test suite + bench smoke (the acceptance gate)
+#   make tier1           build + full test suite + bench smoke + perf gate (the acceptance gate)
 #   make vet-race        go vet + race-detector pass over the parallel core
 #   make scenario-smoke  run every bundled fault scenario end to end
 #   make check           all of the above
 #   make bench-baseline  run the perf suite, save BENCH_<date>.json
 #   make bench-compare   run the perf suite, diff against BASELINE json
+#   make bench-gate      fail if the gated benchmarks regress >GATE_PCT% vs BASELINE
 
-.PHONY: all tier1 vet-race scenario-smoke check bench-baseline bench-compare
+.PHONY: all tier1 vet-race scenario-smoke check bench-baseline bench-compare bench-gate
 
 all: tier1
 
@@ -15,10 +16,12 @@ tier1:
 	go build ./...
 	go test ./...
 	go test -run xxx -bench . -benchtime 1x .
+	$(MAKE) bench-gate
 
 vet-race:
 	go vet ./...
-	go test -race ./internal/parexec/... ./internal/core/... ./internal/sim/... ./internal/conformance/...
+	go test -race ./internal/parexec/... ./internal/core/... ./internal/sim/... ./internal/conformance/... ./internal/remote/...
+	go test -race -run 'TestWirePath' .
 
 scenario-smoke:
 	go run ./cmd/abclsim -workload scenario -scenario all
@@ -28,10 +31,21 @@ check: tier1 vet-race scenario-smoke
 # Performance tracking. bench-baseline records the suite into a dated JSON
 # report; bench-compare records a fresh report and prints a side-by-side
 # diff against BASELINE (default: the newest BENCH_*.json in the repo).
-BENCH_PATTERN ?= BenchmarkTable1_IntraNodeDormant|BenchmarkTable4_NQueensScale|BenchmarkFigure5_Speedup|BenchmarkSimulatorThroughput|BenchmarkForkJoin
+BENCH_PATTERN ?= BenchmarkTable1_IntraNodeDormant|BenchmarkTable4_NQueensScale|BenchmarkFigure5_Speedup|BenchmarkSimulatorThroughput|BenchmarkForkJoin|BenchmarkTable_AllToAll
 BENCH_TIME ?= 20x
 BENCH_DATE := $(shell date +%Y-%m-%d)
 BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+
+# The perf gate: the headline Figure-5 configuration must stay within
+# GATE_PCT percent of the checked-in baseline on both simulator speed
+# (ns/op) and allocation count (allocs/op).
+GATE_BENCH ?= Figure5_Speedup/N10_P256
+GATE_PCT ?= 10
+
+bench-gate:
+	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline found; run make bench-baseline first" >&2; exit 1; }
+	go test -run xxx -bench 'BenchmarkFigure5_Speedup$$/N10_P256$$' -benchmem -benchtime $(BENCH_TIME) . \
+		| go run ./cmd/benchjson -compare $(BASELINE) -gate '$(GATE_BENCH)' -gate-pct $(GATE_PCT)
 
 bench-baseline:
 	go test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . \

@@ -79,6 +79,14 @@ type (
 // Wildcard matches any node in a LinkFault's Src or Dst.
 const Wildcard = fault.Wildcard
 
+// Virtual-time units, for option arguments such as WithBatching and
+// WithDelayedAcks.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
 // UniformFaults builds a FaultPlan applying the same drop probability,
 // duplication probability and maximum latency jitter to every inter-node
 // link.
@@ -145,16 +153,22 @@ const DefaultStockDepth = 2
 
 // settings is the resolved configuration an Option edits.
 type settings struct {
-	nodes      int
-	policy     Policy
-	maxStack   int
-	stock      int // resolved depth; 0 disables the stock
-	placement  Placement
-	seed       int64
-	machine    *machine.Config
-	traceCap   int
-	faults     FaultPlan
-	parWorkers int
+	nodes       int
+	policy      Policy
+	maxStack    int
+	stock       int // resolved depth; 0 disables the stock
+	placement   Placement
+	seed        int64
+	machine     *machine.Config
+	traceCap    int
+	faults      FaultPlan
+	parWorkers  int
+	reliable    bool // ack/retry protocol even without faults
+	batchWindow Time
+	batchBytes  int
+	ackDelay    Time
+	loadHorizon Time
+	noLocCache  bool
 }
 
 // Option configures a System under construction. Options are applied in
@@ -276,6 +290,74 @@ func WithFaults(plan FaultPlan) Option {
 	}
 }
 
+// WithReliable enables the acknowledgment/retry delivery protocol even on a
+// fault-free interconnect. WithFaults implies it; standalone it is useful for
+// measuring the protocol's ack traffic (and the effect of WithDelayedAcks)
+// without injected faults.
+func WithReliable() Option {
+	return func(s *settings) error {
+		s.reliable = true
+		return nil
+	}
+}
+
+// WithBatching enables per-link packet batching on the wire path: records to
+// the same destination node within the given virtual-time window coalesce
+// into one hardware packet (flushed early once maxBytes of payload
+// accumulate; maxBytes <= 0 selects the DefaultBatchBytes budget). The fixed
+// per-packet launch latency is amortised across the coalesced records while
+// per-byte and per-hop costs stay faithful. Off by default; the default
+// path is byte-identical to the unbatched engine.
+func WithBatching(window Time, maxBytes int) Option {
+	return func(s *settings) error {
+		if window <= 0 {
+			return fmt.Errorf("abcl: WithBatching(%v, %d): window must be positive", window, maxBytes)
+		}
+		s.batchWindow = window
+		s.batchBytes = maxBytes
+		return nil
+	}
+}
+
+// WithDelayedAcks replaces the reliable layer's per-packet acknowledgments
+// with cumulative acks emitted after at most d of virtual time (and
+// piggybacked for free on reverse-direction batches when WithBatching is
+// also on). Requires the reliable protocol — combine with WithFaults or
+// WithReliable.
+func WithDelayedAcks(d Time) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("abcl: WithDelayedAcks(%v): delay must be positive", d)
+		}
+		s.ackDelay = d
+		return nil
+	}
+}
+
+// WithLoadHorizon makes load-based placement ignore piggybacked load samples
+// older than d, so it stops chasing stale minima on quiet links. Zero (the
+// default) keeps samples forever.
+func WithLoadHorizon(d Time) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("abcl: WithLoadHorizon(%v): horizon must be positive", d)
+		}
+		s.loadHorizon = d
+		return nil
+	}
+}
+
+// WithoutLocationCache disables the remote-location cache that
+// short-circuits migration forwarders. The cache is on by default (and
+// inert until an object migrates); disable it to reproduce strict
+// every-message-through-the-forwarder semantics.
+func WithoutLocationCache() Option {
+	return func(s *settings) error {
+		s.noLocCache = true
+		return nil
+	}
+}
+
 // WithParallelSim runs the simulation on the conservative parallel executor
 // with the given worker count: node event lanes whose next events fall inside
 // one minimum-wire-latency lookahead window fire concurrently, then the
@@ -349,8 +431,11 @@ func NewSystem(opts ...Option) (*System, error) {
 		}
 		ring = trace.NewRing(s.traceCap)
 	}
-	reliable := s.faults.Enabled()
-	if reliable {
+	reliable := s.reliable || s.faults.Enabled()
+	if s.ackDelay > 0 && !reliable {
+		return nil, fmt.Errorf("abcl: WithDelayedAcks requires the reliable protocol (combine with WithFaults or WithReliable)")
+	}
+	if s.faults.Enabled() {
 		inj, err := fault.NewInjector(s.faults, s.seed, s.nodes)
 		if err != nil {
 			return nil, fmt.Errorf("abcl: %w", err)
@@ -363,11 +448,16 @@ func NewSystem(opts ...Option) (*System, error) {
 		Trace:         ring,
 	})
 	net := remote.Attach(rt, remote.Options{
-		StockDepth: s.stock,
-		Placement:  s.placement,
-		Seed:       s.seed,
-		Reliable:   reliable,
-		Trace:      ring,
+		StockDepth:      s.stock,
+		Placement:       s.placement,
+		Seed:            s.seed,
+		Reliable:        reliable,
+		Trace:           ring,
+		BatchWindow:     s.batchWindow,
+		BatchMaxBytes:   s.batchBytes,
+		AckDelay:        s.ackDelay,
+		LoadHorizon:     s.loadHorizon,
+		NoLocationCache: s.noLocCache,
 	})
 	return &System{M: m, RT: rt, Net: net, Trace: ring, seed: s.seed, faults: s.faults, parWorkers: s.parWorkers}, nil
 }
@@ -409,6 +499,22 @@ type Config struct {
 	// Faults, when enabled, injects interconnect faults and turns on
 	// reliable delivery (WithFaults).
 	Faults FaultPlan
+	// Reliable enables the ack/retry protocol without faults (WithReliable).
+	Reliable bool
+	// BatchWindow, when positive, enables per-link packet batching with
+	// this aggregation window (WithBatching); BatchMaxBytes is the early
+	// flush budget (0 selects the default).
+	BatchWindow   Time
+	BatchMaxBytes int
+	// AckDelay, when positive, enables cumulative delayed acknowledgments
+	// in the reliable layer (WithDelayedAcks).
+	AckDelay Time
+	// LoadHorizon, when positive, expires piggybacked load samples for
+	// load-based placement (WithLoadHorizon).
+	LoadHorizon Time
+	// NoLocationCache disables the post-migration location cache
+	// (WithoutLocationCache).
+	NoLocationCache bool
 }
 
 // Options translates the legacy struct into the equivalent option list,
@@ -445,6 +551,21 @@ func (cfg Config) Options() []Option {
 	}
 	if cfg.Faults.Enabled() {
 		opts = append(opts, WithFaults(cfg.Faults))
+	}
+	if cfg.Reliable {
+		opts = append(opts, WithReliable())
+	}
+	if cfg.BatchWindow > 0 {
+		opts = append(opts, WithBatching(cfg.BatchWindow, cfg.BatchMaxBytes))
+	}
+	if cfg.AckDelay > 0 {
+		opts = append(opts, WithDelayedAcks(cfg.AckDelay))
+	}
+	if cfg.LoadHorizon > 0 {
+		opts = append(opts, WithLoadHorizon(cfg.LoadHorizon))
+	}
+	if cfg.NoLocationCache {
+		opts = append(opts, WithoutLocationCache())
 	}
 	return opts
 }
@@ -533,8 +654,24 @@ func (s *System) Stats() Counters { return s.RT.TotalStats() }
 // TotalInstructions returns the instruction count summed over nodes.
 func (s *System) TotalInstructions() uint64 { return s.M.TotalInstr() }
 
-// Packets returns the total inter-node packet count.
+// Packets returns the total inter-node packet count (physical launches;
+// with batching one packet may carry several logical messages).
 func (s *System) Packets() uint64 { return s.M.TotalPackets() }
+
+// LogicalMsgs returns the total count of logical messages launched onto the
+// wire. Without batching it equals Packets; with batching it exceeds it, and
+// the ratio is the mean aggregation factor.
+func (s *System) LogicalMsgs() uint64 { return s.M.TotalMsgs() }
+
+// BatchWindow returns the configured batching window and byte budget
+// (zeroes when batching is off).
+func (s *System) BatchWindow() (Time, int) { return s.Net.Batching() }
+
+// AckDelay returns the delayed-ack interval (zero when acks are immediate).
+func (s *System) AckDelay() Time { return s.Net.AckDelay() }
+
+// LocationCache reports whether the post-migration location cache is on.
+func (s *System) LocationCache() bool { return s.Net.LocationCache() }
 
 // InstrTime converts an instruction count to virtual time under the
 // system's clock and CPI configuration.

@@ -11,6 +11,13 @@
 //
 //	abclsim -workload forkjoin -depth 10 -nodes 16 -drop 0.1 -dup 0.05
 //
+// The wire-path optimisations — per-link packet batching, delayed
+// cumulative acks, the remote-location cache — are controlled by
+// -batch-window, -batch-bytes, -ack-delay, -reliable and -no-loc-cache;
+// each workload header echoes the effective comms configuration:
+//
+//	abclsim -workload nqueens -n 10 -nodes 256 -batch-window 10000 -ack-delay 500000
+//
 // Declarative fault scenarios (fleet + fault schedule + assertions) run via
 // the scenario workload:
 //
@@ -60,6 +67,12 @@ var (
 	dup    = flag.Float64("dup", 0, "link fault: per-packet duplication probability [0,1]")
 	jitter = flag.Int64("jitter", 0, "link fault: max extra latency per packet (ns)")
 
+	batchWindow = flag.Int64("batch-window", 0, "per-link packet batching window (ns); 0 disables batching")
+	batchBytes  = flag.Int("batch-bytes", 0, "batch early-flush byte budget (0 selects the default)")
+	ackDelay    = flag.Int64("ack-delay", 0, "delayed cumulative ack interval (ns); 0 keeps immediate acks; implies -reliable")
+	reliable    = flag.Bool("reliable", false, "run the ack/retry protocol even on a fault-free network")
+	noLocCache  = flag.Bool("no-loc-cache", false, "disable the post-migration remote-location cache")
+
 	parSim     = flag.Int("parallel-sim", 0, "run the event engine on the parallel executor with this many workers (0/1 = sequential)")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -107,7 +120,26 @@ func sysOptions() []abcl.Option {
 	if p := faultPlan(); p.Enabled() {
 		opts = append(opts, abcl.WithFaults(p))
 	}
+	if *batchWindow != 0 { // negatives flow through so option validation rejects them
+		opts = append(opts, abcl.WithBatching(abcl.Time(*batchWindow), *batchBytes))
+	}
+	if *reliable || *ackDelay > 0 {
+		opts = append(opts, abcl.WithReliable())
+	}
+	if *ackDelay != 0 {
+		opts = append(opts, abcl.WithDelayedAcks(abcl.Time(*ackDelay)))
+	}
+	if *noLocCache {
+		opts = append(opts, abcl.WithoutLocationCache())
+	}
 	return opts
+}
+
+// commsLine describes the effective wire-path configuration of a built
+// system for the workload headers: batching, ack strategy, protocol,
+// location cache.
+func commsLine(sys *abcl.System) string {
+	return fmt.Sprintf("comms: %s", sys.Net)
 }
 
 func main() {
@@ -240,6 +272,7 @@ func runNQueens() error {
 	benchMsgs.Store(uint64(res.Messages))
 	fmt.Printf("N-queens N=%d on %d nodes (%s scheduling, %s placement)\n",
 		*n, *nodes, parsePolicy(), parsePlacement().Name())
+	fmt.Printf("  %s\n", commsLine(sys))
 	fmt.Printf("  solutions        %d (expected %d)\n", res.Solutions, seq.Solutions)
 	fmt.Printf("  objects created  %d\n", res.Objects)
 	fmt.Printf("  messages         %d\n", res.Messages)
@@ -302,6 +335,7 @@ func runForkJoin() error {
 	benchMsgs.Store(c.LocalToDormant + c.LocalToActive + c.RemoteSends)
 	fmt.Printf("fork-join depth=%d on %d nodes: %d leaves (expected %d)\n",
 		*depth, *nodes, leaves, int64(1)<<uint(*depth))
+	fmt.Printf("  %s\n", commsLine(sys))
 	return nil
 }
 
@@ -310,6 +344,8 @@ func runDiffusion() error {
 		W: *grid, H: *grid, Iters: *gridIters, Nodes: *nodes,
 		Policy: parsePolicy(), BlockPlace: *block,
 		Seed: *seed, Faults: faultPlan(),
+		BatchWindow: abcl.Time(*batchWindow), AckDelay: abcl.Time(*ackDelay),
+		Reliable: *reliable || *ackDelay > 0,
 	})
 	if err != nil {
 		return err

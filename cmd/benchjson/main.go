@@ -1,10 +1,16 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON report, and optionally compares it against a
-// previously saved report. It backs the Makefile's bench-baseline and
-// bench-compare targets:
+// previously saved report. It backs the Makefile's bench-baseline,
+// bench-compare and bench-gate targets:
 //
 //	go test -bench ... -benchmem . | benchjson -o BENCH_2026-08-05.json
 //	go test -bench ... -benchmem . | benchjson -o BENCH_new.json -compare BENCH_old.json
+//	go test -bench ... -benchmem . | benchjson -compare BENCH_old.json \
+//	    -gate Figure5_Speedup/N10_P256 -gate-pct 10
+//
+// In gate mode the exit status is non-zero when any gated benchmark's
+// ns/op or allocs/op regresses beyond the allowed percentage, or when a
+// gated benchmark is missing from either report.
 package main
 
 import (
@@ -40,7 +46,13 @@ func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	compare := flag.String("compare", "", "baseline JSON report to diff against")
 	date := flag.String("date", "", "date stamp recorded in the report")
+	gate := flag.String("gate", "", "comma-separated benchmark names that must not regress vs the -compare baseline")
+	gatePct := flag.Float64("gate-pct", 10, "allowed ns/op and allocs/op regression, percent")
 	flag.Parse()
+	if *gate != "" && *compare == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -gate requires -compare")
+		os.Exit(2)
+	}
 
 	rep := parse(bufio.NewScanner(os.Stdin))
 	rep.Date = *date
@@ -55,7 +67,9 @@ func main() {
 	}
 	buf = append(buf, '\n')
 	if *out == "" {
-		os.Stdout.Write(buf)
+		if *gate == "" { // gate mode prints the comparison, not the report
+			os.Stdout.Write(buf)
+		}
 	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
@@ -66,7 +80,51 @@ func main() {
 			fatal(err)
 		}
 		diff(base, rep)
+		if *gate != "" && !runGate(base, rep, strings.Split(*gate, ","), *gatePct) {
+			os.Exit(1)
+		}
 	}
+}
+
+// runGate checks the named benchmarks against the baseline and reports true
+// when every gated metric stays within the allowed regression.
+func runGate(base, cur *Report, names []string, pct float64) bool {
+	index := func(r *Report) map[string]Bench {
+		m := make(map[string]Bench, len(r.Benchmarks))
+		for _, b := range r.Benchmarks {
+			m[b.Name] = b
+		}
+		return m
+	}
+	baseBy, curBy := index(base), index(cur)
+	ok := true
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		old, inBase := baseBy[name]
+		b, inCur := curBy[name]
+		if !inBase || !inCur {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s: missing from %s report\n",
+				name, map[bool]string{true: "current", false: "baseline"}[inBase])
+			ok = false
+			continue
+		}
+		check := func(metric string, oldV, newV float64) {
+			if oldV <= 0 {
+				return
+			}
+			d := (newV - oldV) / oldV * 100
+			status := "ok"
+			if d > pct {
+				status = "FAIL"
+				ok = false
+			}
+			fmt.Printf("gate %-40s %-10s %14.0f -> %14.0f  %+6.1f%%  (limit +%.0f%%)  %s\n",
+				name, metric, oldV, newV, d, pct, status)
+		}
+		check("ns/op", old.NsPerOp, b.NsPerOp)
+		check("allocs/op", old.AllocsOp, b.AllocsOp)
+	}
+	return ok
 }
 
 func fatal(err error) {

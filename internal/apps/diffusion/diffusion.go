@@ -36,6 +36,12 @@ type Options struct {
 	BlockPlace bool // true: block decomposition (locality); false: scatter
 	Seed       int64
 	Faults     abcl.FaultPlan
+
+	// Wire-path options (see abcl.Config): per-link batching window,
+	// delayed cumulative acks, and the reliable protocol they ride on.
+	BatchWindow abcl.Time
+	AckDelay    abcl.Time
+	Reliable    bool
 }
 
 // Result reports a run.
@@ -79,6 +85,7 @@ func Run(opt Options) (Result, error) {
 
 	sys, err := abcl.NewSystemConfig(abcl.Config{
 		Nodes: opt.Nodes, Policy: opt.Policy, Seed: opt.Seed, Faults: opt.Faults,
+		BatchWindow: opt.BatchWindow, AckDelay: opt.AckDelay, Reliable: opt.Reliable,
 	})
 	if err != nil {
 		return Result{}, err

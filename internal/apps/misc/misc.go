@@ -122,6 +122,110 @@ func RunForkJoin(depth, nodes int, policy abcl.Policy) (int64, error) {
 	return RunForkJoinOn(sys, depth)
 }
 
+// AllToAllOptions configures the all-to-all exchange workload.
+type AllToAllOptions struct {
+	Nodes  int           // node count; one peer object per node
+	Rounds int           // messages each peer sends to every other peer
+	Opts   []abcl.Option // extra system options (batching, reliability, faults, ...)
+}
+
+// AllToAllResult reports the outcome of one all-to-all exchange.
+type AllToAllResult struct {
+	Delivered  int64 // messages received across all peers
+	Violations int64 // per-sender FIFO order violations observed by receivers
+	Elapsed    abcl.Time
+	Packets    uint64 // hardware packets launched
+	Msgs       uint64 // logical messages carried (>= Packets when batching)
+	Stats      abcl.Counters
+}
+
+// RunAllToAll runs a communication-dominated exchange: every node hosts one
+// peer object, and every node sends Rounds numbered past-type messages to
+// every other node's peer. Receivers verify per-sender FIFO order. The
+// pattern is the worst case for per-link batching (traffic spread across
+// all N·(N-1) links) and the best case for ack coalescing (many messages
+// per link in flight at once).
+func RunAllToAll(o AllToAllOptions) (*AllToAllResult, error) {
+	if o.Nodes < 2 {
+		return nil, fmt.Errorf("misc: all-to-all needs at least 2 nodes, got %d", o.Nodes)
+	}
+	if o.Rounds < 1 {
+		o.Rounds = 1
+	}
+	sys, err := abcl.NewSystem(append([]abcl.Option{abcl.WithNodes(o.Nodes)}, o.Opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	p := o.Nodes
+	// Per-receiver tallies live in per-node slots so that method bodies never
+	// share Go state across event lanes.
+	received := make([]int64, p)
+	violations := make([]int64, p)
+	expected := make([][]int64, p)
+	for i := range expected {
+		expected[i] = make([]int64, p)
+	}
+
+	hit := sys.Pattern("a2a.hit", 2)
+	kick := sys.Pattern("a2a.kick", 0)
+	peerCls := sys.Class("a2a.peer", 0, nil)
+	peerCls.Method(hit, func(ctx *abcl.Ctx) {
+		me := ctx.NodeID()
+		src := ctx.Arg(0).Int()
+		seq := ctx.Arg(1).Int()
+		received[me]++
+		if seq != expected[me][src] {
+			violations[me]++
+		}
+		expected[me][src] = seq + 1
+	})
+
+	peers := make([]abcl.Address, p)
+	for i := range peers {
+		peers[i] = sys.NewObjectOn(i, peerCls)
+	}
+	// Rounds are sent destination-major: each peer receives its Rounds
+	// messages as one back-to-back burst, the traffic shape per-link
+	// batching is built for (a multi-record logical transfer).
+	srcCls := sys.Class("a2a.src", 0, nil)
+	srcCls.Method(kick, func(ctx *abcl.Ctx) {
+		me := ctx.NodeID()
+		for d := 0; d < p; d++ {
+			if d == me {
+				continue
+			}
+			for r := 0; r < o.Rounds; r++ {
+				ctx.SendPast(peers[d], hit, abcl.Int(int64(me)), abcl.Int(int64(r)))
+			}
+		}
+	})
+	for i := 0; i < p; i++ {
+		sys.Send(sys.NewObjectOn(i, srcCls), kick)
+	}
+	if err := sys.Run(); err != nil {
+		return nil, err
+	}
+
+	res := &AllToAllResult{
+		Elapsed: sys.Elapsed(),
+		Packets: sys.Packets(),
+		Msgs:    sys.LogicalMsgs(),
+		Stats:   sys.Stats(),
+	}
+	for i := 0; i < p; i++ {
+		res.Delivered += received[i]
+		res.Violations += violations[i]
+	}
+	want := int64(p) * int64(p-1) * int64(o.Rounds)
+	if res.Delivered != want {
+		return res, fmt.Errorf("misc: all-to-all delivered %d messages, want %d", res.Delivered, want)
+	}
+	if res.Violations != 0 {
+		return res, fmt.Errorf("misc: all-to-all observed %d FIFO order violations", res.Violations)
+	}
+	return res, nil
+}
+
 // RunForkJoinOn runs a fork-join tree of the given depth on an existing,
 // not-yet-run system (e.g. one built with fault injection enabled) and
 // returns the leaf count.

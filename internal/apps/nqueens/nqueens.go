@@ -53,6 +53,13 @@ type Options struct {
 	WorkFactor int // tenths of instructions per N^2; 0 = DefaultWorkFactor
 	MaxDepth   int // stack-depth bound; 0 = runtime default
 	Faults     abcl.FaultPlan
+
+	// Wire-path options: per-link packet batching, the reliable protocol
+	// and delayed (coalesced) acks. Zero values leave them all off.
+	BatchWindow   sim.Time
+	BatchMaxBytes int
+	Reliable      bool
+	AckDelay      sim.Time
 }
 
 // Result reports one parallel run.
@@ -65,6 +72,7 @@ type Result struct {
 	Elapsed     sim.Time
 	Utilization float64
 	MemoryBytes uint64 // modelled heap usage (objects + message frames)
+	Packets     uint64 // hardware packets launched
 	Stats       stats.Counters
 }
 
@@ -88,6 +96,10 @@ func Run(opt Options) (Result, error) {
 		StockDepth:    opt.StockDepth,
 		MaxStackDepth: opt.MaxDepth,
 		Faults:        opt.Faults,
+		BatchWindow:   opt.BatchWindow,
+		BatchMaxBytes: opt.BatchMaxBytes,
+		Reliable:      opt.Reliable,
+		AckDelay:      opt.AckDelay,
 	})
 	if err != nil {
 		return Result{}, err
@@ -263,6 +275,7 @@ func (d *Driver) Result() (Result, error) {
 		Elapsed:     d.finishedAt,
 		Utilization: d.sys.Utilization(),
 		MemoryBytes: objects*objectBytes + messages*frameBytes,
+		Packets:     d.sys.Packets(),
 		Stats:       c,
 	}, nil
 }

@@ -46,6 +46,10 @@ type Cost struct {
 	RemoteHandlerCall int // script (handler) invocation (~10)
 	InterruptEntry    int // interrupt entry/exit when arrival is signalled
 	//                       by interrupt instead of polling (Section 5)
+	BatchRecvExtract int // extraction of the 2nd+ record of a batched packet:
+	//                      the per-packet poll and buffer management are paid
+	//                      once per physical packet, so later records only pay
+	//                      record parsing and cursor advance
 
 	// Remote creation / chunk stock management.
 	ForwardHop    int // re-sending a message through a migration forwarder
@@ -90,6 +94,7 @@ func DefaultCost() Cost {
 		RemoteRecvExtract: 42,
 		RemoteHandlerCall: 10,
 		InterruptEntry:    30,
+		BatchRecvExtract:  12,
 
 		ForwardHop:    6,
 		MigratePack:   14,

@@ -131,9 +131,25 @@ type Packet struct {
 	Src, Dst int
 	Size     int // bytes, for bandwidth modelling
 	Arrival  sim.Time
-	Category int // handler category 1-5 (for statistics only)
+	Category int // handler category (for statistics only)
 	Handler  func(n *Node, p *Packet)
 	Payload  any
+
+	// Msgs is the number of logical messages this physical packet carries.
+	// Zero and one both mean an ordinary single-message packet; the wire-path
+	// batching layer sets it to the count of coalesced records so the machine
+	// can account logical traffic separately from packet launches.
+	Msgs int
+
+	// Ctrl routes the packet over the link's control virtual channel:
+	// transport acknowledgments and similar protocol traffic that must not
+	// queue behind the data stream. Data sends record their arrival into the
+	// per-link FIFO clamp at the *processor clock* of the send, which may lie
+	// far ahead of engine time inside a long method body; a controller-
+	// generated ack transmitted mid-body would otherwise be clamped behind
+	// data that, in hardware terms, has not departed yet. The control channel
+	// keeps its own FIFO clamp instead.
+	Ctrl bool
 
 	// OnArrive, if set, runs in engine context the moment the packet
 	// reaches the destination's message controller — before the software
@@ -198,6 +214,7 @@ type Node struct {
 	rx            []*Packet // delivered packets awaiting poll, in arrival order
 	pktFree       []*Packet // recycled packets available to AcquirePacket
 	lastArrival   []sim.Time
+	lastCtrl      []sim.Time // FIFO clamp of the control virtual channel
 	Runner        Runner
 	resumePending bool
 	inResume      bool
@@ -207,6 +224,7 @@ type Node struct {
 	PacketsSent    uint64
 	PacketsRecvd   uint64
 	BytesSent      uint64
+	MsgsSent       uint64 // logical messages launched (>= PacketsSent with batching)
 	PacketsDropped uint64 // transmissions lost to injected link faults
 	PacketsDuped   uint64 // extra copies injected by link faults
 }
@@ -235,6 +253,17 @@ func (m *Machine) TotalPackets() uint64 {
 	var t uint64
 	for _, n := range m.nodes {
 		t += n.PacketsSent
+	}
+	return t
+}
+
+// TotalMsgs returns the machine-wide count of logical messages launched.
+// Without batching it equals TotalPackets; with batching it exceeds it, and
+// the ratio is the mean aggregation factor.
+func (m *Machine) TotalMsgs() uint64 {
+	var t uint64
+	for _, n := range m.nodes {
+		t += n.MsgsSent
 	}
 	return t
 }
@@ -311,6 +340,7 @@ func New(cfg Config) (*Machine, error) {
 			m:           m,
 			lane:        i + 1,
 			lastArrival: make([]sim.Time, cfg.Nodes),
+			lastCtrl:    make([]sim.Time, cfg.Nodes),
 		}
 	}
 	return m, nil
@@ -453,6 +483,11 @@ func (n *Node) sendAt(at sim.Time, p *Packet) sim.Time {
 
 	n.PacketsSent++
 	n.BytesSent += uint64(p.Size)
+	if p.Msgs > 1 {
+		n.MsgsSent += uint64(p.Msgs)
+	} else {
+		n.MsgsSent++
+	}
 
 	// Consult the fault model: one extra-latency entry per physical copy.
 	copies := oneCopy
@@ -483,10 +518,16 @@ func (n *Node) sendAt(at sim.Time, p *Packet) sim.Time {
 		// Per-(src,dst) FIFO ordering is enforced per copy (the paper's
 		// "preservation of transmission order"): jitter delays but never
 		// reorders a link; only drop+retransmit can reorder logically.
-		if last := dst.lastArrival[n.ID]; arrival <= last {
+		// Control-channel traffic (Packet.Ctrl) is clamped separately so
+		// protocol packets never queue behind the data stream.
+		clamp := dst.lastArrival
+		if p.Ctrl {
+			clamp = dst.lastCtrl
+		}
+		if last := clamp[n.ID]; arrival <= last {
 			arrival = last + 1
 		}
-		dst.lastArrival[n.ID] = arrival
+		clamp[n.ID] = arrival
 		cp.Arrival = arrival
 		if i == 0 {
 			first = arrival

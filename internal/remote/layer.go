@@ -16,6 +16,7 @@ const (
 	CatChunk   = 3 // reply to remote memory allocation request
 	CatService = 4 // other services (load info is piggybacked instead)
 	CatAck     = 5 // reliable-delivery acknowledgment (not in the paper)
+	CatBatch   = 6 // multi-record hardware packet (per-link batching)
 )
 
 // packetHeaderBytes models the paper's compact message format: "a total of
@@ -58,6 +59,29 @@ type Options struct {
 	// Trace, when non-nil, receives reliable-delivery events (retries,
 	// acks, duplicate suppression, reorder holds).
 	Trace *trace.Ring
+
+	// BatchWindow enables per-link packet batching: wire records to the
+	// same destination node within this virtual-time window coalesce into
+	// one hardware packet, amortising the fixed launch latency. Zero
+	// disables batching, keeping the wire path byte-identical to the
+	// unbatched engine.
+	BatchWindow sim.Time
+	// BatchMaxBytes flushes an open batch early once its payload reaches
+	// this size; zero selects DefaultBatchBytes.
+	BatchMaxBytes int
+	// AckDelay replaces the reliable layer's per-copy acknowledgments with
+	// cumulative acks emitted on a delayed-ack timer and piggybacked on
+	// reverse-direction batches. Effective only with Reliable; zero keeps
+	// immediate per-packet acks.
+	AckDelay sim.Time
+	// LoadHorizon makes load-based placement ignore piggybacked load
+	// samples older than this; zero keeps samples forever (the historical
+	// behaviour).
+	LoadHorizon sim.Time
+	// NoLocationCache disables the remote-location cache that
+	// short-circuits migration forwarders. The cache is on by default: it
+	// is inert until an object migrates.
+	NoLocationCache bool
 }
 
 // Reliable-delivery protocol defaults. The base timeout covers a small
@@ -82,11 +106,16 @@ type Layer struct {
 	opt   Options
 	nodes []*nodeState
 	rel   *reliable // nil unless Options.Reliable
+	bat   *batcher  // nil unless Options.BatchWindow > 0
+	locOn bool      // remote-location cache enabled
 
 	// hWire is the shared receive handler for all layer packets; the
 	// per-send state travels in the packet's Payload as a *wireMsg instead
-	// of a freshly allocated closure.
-	hWire func(*machine.Node, *machine.Packet)
+	// of a freshly allocated closure. hBatchArr/hBatchDel are the shared
+	// controller and poll handlers of CatBatch containers.
+	hWire     func(*machine.Node, *machine.Packet)
+	hBatchArr func(*machine.Node, *machine.Packet)
+	hBatchDel func(*machine.Node, *machine.Packet)
 }
 
 // wireMsg is the decoded payload of one layer packet. Records are pooled:
@@ -117,6 +146,7 @@ const (
 	wmCreate
 	wmBlockingCreate
 	wmChunk
+	wmLocUpd // location update: `to` moved to `replyTo` (forward short-circuit)
 )
 
 // setArgs copies args into the record — inline when they fit, a fresh slice
@@ -169,28 +199,44 @@ func (l *Layer) releaseWire(dst int, w *wireMsg) {
 func (l *Layer) handleWire(rn *machine.Node, p *machine.Packet) {
 	w := p.Payload.(*wireMsg)
 	c := l.cost()
-	l.noteLoad(rn.ID, w.src, w.load)
+	extract := c.RemoteRecvExtract
+	if l.nodes[rn.ID].batchPos > 1 {
+		// Second-or-later record of a batched packet: the poll, header
+		// parse and buffer management were paid by the first record.
+		extract = c.BatchRecvExtract
+	}
+	l.noteLoad(rn.ID, w.src, w.load, p.Arrival)
 	nrt := l.rt.NodeRT(rn.ID)
 	switch w.kind {
 	case wmMessage:
-		rn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall)
+		rn.Charge(extract + c.RemoteHandlerCall)
+		if l.locOn {
+			if fwd := w.to.Obj.ForwardTarget(); !fwd.IsNil() {
+				// Stale address: the object migrated away. Tell the sender
+				// where it lives now, then let the forwarder re-send.
+				l.advertiseLocation(rn, w.src, w.to, fwd)
+			}
+		}
 		nrt.DeliverFrame(w.to.Obj, nrt.NewFrame(w.pat, w.args, w.replyTo), true)
 	case wmCreate:
-		rn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall + c.ChunkInit)
+		rn.Charge(extract + c.RemoteHandlerCall + c.ChunkInit)
 		l.rt.InitChunk(nrt, w.chunk, w.cl, w.args)
 		// Step 4: allocate the replacement chunk and return its address.
 		rn.Charge(c.ChunkRefill)
 		l.sendChunkReply(nrt, w.src, l.rt.NewFaultChunk(rn.ID), w.entry, nil)
 	case wmBlockingCreate:
-		rn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall + c.ChunkInit)
+		rn.Charge(extract + c.RemoteHandlerCall + c.ChunkInit)
 		created := l.rt.NewFaultChunk(rn.ID)
 		l.rt.InitChunk(nrt, created, w.cl, w.args)
 		rn.Charge(c.ChunkRefill)
 		addr := created.Addr()
 		onCreated := w.onCreated
 		l.sendChunkReply(nrt, w.src, l.rt.NewFaultChunk(rn.ID), w.entry, func() { onCreated(addr) })
+	case wmLocUpd:
+		rn.Charge(extract + c.RemoteHandlerCall)
+		l.learnLocation(rn, w.to, w.replyTo)
 	case wmChunk:
-		rn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall + c.StockPush)
+		rn.Charge(extract + c.RemoteHandlerCall + c.StockPush)
 		if l.opt.StockDepth > 0 {
 			// The stock is capped at its configured depth: a chunk that
 			// would overfill it (after a miss) is simply dropped back to
@@ -256,10 +302,25 @@ type nodeState struct {
 	rrNext int
 	rng    uint64
 	stock  map[stockKey]*stockEntry
-	loads  []int32   // last known scheduling-queue lengths, piggybacked
-	sent   [3]uint64 // category 1/2/3 sends, node-local (lane-safe)
+	loads  []int32    // last known scheduling-queue lengths, piggybacked
+	loadAt []sim.Time // arrival time of each load sample (staleness horizon)
+	sent   [3]uint64  // category 1/2/3 sends, node-local (lane-safe)
 
-	wireFree []*wireMsg // recycled payload records (lane-local)
+	wireFree  []*wireMsg   // recycled payload records (lane-local)
+	batchFree []*wireBatch // recycled batch containers (lane-local)
+	batchPos  int          // 1-based record cursor while delivering a batch
+
+	// Remote-location cache: stale address -> latest known home, filled by
+	// wmLocUpd messages from forwarding nodes. advert is the forwarding
+	// side: the location last advertised per (sender, migrated object), so
+	// each sender is told about each migration generation exactly once.
+	locCache map[core.Address]core.Address
+	advert   map[advertKey]core.Address
+}
+
+type advertKey struct {
+	src int
+	obj *core.Object
 }
 
 func (ns *nodeState) nextRand() uint64 {
@@ -272,9 +333,20 @@ func (ns *nodeState) nextRand() uint64 {
 	return x
 }
 
+// staleLoad makes out-of-horizon samples lose to any fresh information when
+// load-based placement compares candidates.
+const staleLoad = int(1) << 30
+
 func (ns *nodeState) knownLoad(node int, l *Layer) int {
 	if node == ns.id {
 		return l.rt.NodeRT(node).SchedQueueLen()
+	}
+	if h := l.opt.LoadHorizon; h > 0 {
+		if at := ns.loadAt[node]; at == 0 || at+h < l.m.Node(ns.id).Now() {
+			// No sample inside the horizon: treat the peer as unknown
+			// rather than idle, so placement stops chasing stale minima.
+			return staleLoad
+		}
 	}
 	return int(ns.loads[node])
 }
@@ -285,19 +357,25 @@ func Attach(rt *core.Runtime, opt Options) *Layer {
 	if opt.Placement == nil {
 		opt.Placement = RoundRobin{}
 	}
-	l := &Layer{rt: rt, m: rt.M, opt: opt}
+	l := &Layer{rt: rt, m: rt.M, opt: opt, locOn: !opt.NoLocationCache}
 	l.hWire = l.handleWire
 	l.nodes = make([]*nodeState, rt.Nodes())
 	for i := range l.nodes {
 		l.nodes[i] = &nodeState{
-			id:    i,
-			rng:   uint64(opt.Seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + 1,
-			stock: make(map[stockKey]*stockEntry),
-			loads: make([]int32, rt.Nodes()),
+			id:     i,
+			rng:    uint64(opt.Seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + 1,
+			stock:  make(map[stockKey]*stockEntry),
+			loads:  make([]int32, rt.Nodes()),
+			loadAt: make([]sim.Time, rt.Nodes()),
 		}
 	}
 	if opt.Reliable {
 		l.rel = newReliable(l)
+	}
+	if opt.BatchWindow > 0 {
+		l.bat = newBatcher(l, opt.BatchWindow, opt.BatchMaxBytes)
+		l.hBatchArr = l.handleBatchArrive
+		l.hBatchDel = l.handleBatchDeliver
 	}
 	if rt.M.Faults() != nil && rt.M.FaultSink() == nil {
 		rt.M.SetFaultSink(statsSink{l})
@@ -327,14 +405,15 @@ func (s statsSink) NodePaused(node int, at, until sim.Time) {
 }
 
 // transmit sends a packet either directly over the machine's interconnect
-// or, when the reliable protocol is enabled, through the ack/retry layer.
-// All inter-node traffic of the layer (categories 1-4) funnels through here.
+// (through the per-link batcher when batching is on) or, when the reliable
+// protocol is enabled, through the ack/retry layer. All inter-node traffic
+// of the layer (categories 1-4) funnels through here.
 func (l *Layer) transmit(mn *machine.Node, pkt *machine.Packet) {
 	if l.rel != nil {
 		l.rel.send(mn, pkt)
 		return
 	}
-	mn.Send(pkt)
+	l.send(mn, pkt)
 }
 
 // Reliable reports whether the ack/retry protocol is active.
@@ -363,8 +442,12 @@ func (l *Layer) piggyback(src int) int32 {
 	return int32(l.rt.NodeRT(src).SchedQueueLen())
 }
 
-func (l *Layer) noteLoad(dst, src int, load int32) {
-	l.nodes[dst].loads[src] = load
+// noteLoad stores a piggybacked load sample with the arrival time it was
+// observed at, so placement can discount samples beyond the LoadHorizon.
+func (l *Layer) noteLoad(dst, src int, load int32, at sim.Time) {
+	ns := l.nodes[dst]
+	ns.loads[src] = load
+	ns.loadAt[src] = at
 }
 
 // SendMessage implements core.Remote: category-1 normal message
@@ -372,15 +455,37 @@ func (l *Layer) noteLoad(dst, src int, load int32) {
 // closure carrying the receiver and the typed arguments — no runtime tags
 // travel on the wire (Section 5.1).
 func (l *Layer) SendMessage(n *core.NodeRT, to core.Address, p core.PatternID, args []core.Value, replyTo core.Address) {
+	src := n.ID()
+	if ns := l.nodes[src]; len(ns.locCache) > 0 {
+		if fresh, ok := ns.locCache[to]; ok {
+			// Collapse chains left by repeated migrations, compressing the
+			// path for subsequent sends.
+			for hops := 0; hops < 8; hops++ {
+				next, ok := ns.locCache[fresh]
+				if !ok {
+					break
+				}
+				fresh = next
+			}
+			ns.locCache[to] = fresh
+			n.C.LocCacheHits++
+			to = fresh
+			if to.Node == src {
+				// The object migrated to this very node: re-enter the local
+				// send path instead of putting a packet on the wire.
+				n.Send(to, p, args, replyTo)
+				return
+			}
+		}
+	}
 	c := l.cost()
 	mn := n.MachineNode()
 	mn.Charge(c.RemoteSendSetup)
-	l.nodes[n.ID()].sent[0]++
+	l.nodes[src].sent[0]++
 	size := packetHeaderBytes + core.ArgsSize(args)
 	if !replyTo.IsNil() {
 		size += 8
 	}
-	src := n.ID()
 	w := l.acquireWire(src)
 	w.kind = wmMessage
 	w.src = src
@@ -531,6 +636,99 @@ func (l *Layer) sendChunkReply(n *core.NodeRT, requester int, chunk *core.Object
 	l.transmit(sn, pkt)
 }
 
+// advertiseLocation tells a stale sender where a migrated object lives now —
+// the forwarding short-circuit. It runs at the forwarding node when a
+// category-1 message arrives for an object that has moved away. One update
+// travels per (sender, migration generation): the advert map remembers what
+// each sender was last told, so steady-state forwarding adds no traffic.
+func (l *Layer) advertiseLocation(rn *machine.Node, src int, stale, fwd core.Address) {
+	if src == rn.ID {
+		return
+	}
+	// Chase a local forwarding chain (the object may have passed through
+	// this node more than once); forwarders on other nodes belong to other
+	// lanes and cannot be inspected here.
+	final := fwd
+	for hops := 0; hops < 8 && final.Node == rn.ID; hops++ {
+		next := final.Obj.ForwardTarget()
+		if next.IsNil() {
+			break
+		}
+		final = next
+	}
+	ns := l.nodes[rn.ID]
+	if ns.advert == nil {
+		ns.advert = make(map[advertKey]core.Address)
+	}
+	key := advertKey{src: src, obj: stale.Obj}
+	if ns.advert[key] == final {
+		return
+	}
+	ns.advert[key] = final
+	c := l.cost()
+	l.rt.NodeRT(rn.ID).C.LocCacheMisses++
+	rn.Charge(c.RemoteSendSetup)
+	w := l.acquireWire(rn.ID)
+	w.kind = wmLocUpd
+	w.src = rn.ID
+	w.load = l.piggyback(rn.ID)
+	w.to = stale
+	w.replyTo = final
+	pkt := rn.AcquirePacket()
+	pkt.Dst = src
+	pkt.Size = packetHeaderBytes + 16 // stale + authoritative address
+	pkt.Category = CatService
+	pkt.Handler = l.hWire
+	pkt.Payload = w
+	l.tracef(rn.Now(), rn.ID, trace.EvLocUpdate,
+		"advertise to n%d: object moved n%d -> n%d", src, stale.Node, final.Node)
+	l.transmit(rn, pkt)
+}
+
+// learnLocation installs an advertised location in the stale sender's cache.
+// A newer address for an already-cached object overwrites (invalidates) the
+// old entry; chains from repeated migrations collapse at lookup time.
+func (l *Layer) learnLocation(rn *machine.Node, stale, fresh core.Address) {
+	if fresh.IsNil() || stale == fresh {
+		return
+	}
+	ns := l.nodes[rn.ID]
+	cc := &l.rt.NodeRT(rn.ID).C
+	if ns.locCache == nil {
+		ns.locCache = make(map[core.Address]core.Address)
+	}
+	if old, ok := ns.locCache[stale]; ok {
+		if old == fresh {
+			return
+		}
+		cc.LocCacheInvalidates++
+	}
+	ns.locCache[stale] = fresh
+	l.tracef(rn.Now(), rn.ID, trace.EvLocUpdate,
+		"learned: n%d object now at n%d", stale.Node, fresh.Node)
+}
+
+// LocationCache reports whether the remote-location cache is enabled.
+func (l *Layer) LocationCache() bool { return l.locOn }
+
+// Batching reports the active batch window and byte budget (zeroes when
+// batching is disabled).
+func (l *Layer) Batching() (sim.Time, int) {
+	if l.bat == nil {
+		return 0, 0
+	}
+	return l.bat.window, l.bat.maxBytes
+}
+
+// AckDelay reports the delayed-ack interval (zero when acks are immediate or
+// the reliable protocol is off).
+func (l *Layer) AckDelay() sim.Time {
+	if l.rel == nil {
+		return 0
+	}
+	return l.rel.ackDelay
+}
+
 // StockLevel reports the current stock depth a node holds for a target/class
 // pair (for tests and reports).
 func (l *Layer) StockLevel(node, target int, cl *core.Class) int {
@@ -543,5 +741,19 @@ func (l *Layer) StockLevel(node, target int, cl *core.Class) int {
 
 // String describes the layer configuration.
 func (l *Layer) String() string {
-	return fmt.Sprintf("remote{stock=%d placement=%s}", l.opt.StockDepth, l.opt.Placement.Name())
+	s := fmt.Sprintf("remote{stock=%d placement=%s", l.opt.StockDepth, l.opt.Placement.Name())
+	if l.bat != nil {
+		s += fmt.Sprintf(" batch=%v/%dB", l.bat.window, l.bat.maxBytes)
+	}
+	if l.rel != nil {
+		if l.rel.ackDelay > 0 {
+			s += fmt.Sprintf(" reliable ackDelay=%v", l.rel.ackDelay)
+		} else {
+			s += " reliable"
+		}
+	}
+	if !l.locOn {
+		s += " locCache=off"
+	}
+	return s + "}"
 }

@@ -55,7 +55,7 @@ func (l *Layer) Migrate(obj *core.Object, target int, onDone func(core.Address))
 		Category: CatService,
 		Handler: func(mn *machine.Node, pkt *machine.Packet) {
 			mn.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall + c.MigrateUnpack)
-			l.noteLoad(mn.ID, src, load)
+			l.noteLoad(mn.ID, src, load, pkt.Arrival)
 			tn := l.rt.NodeRT(mn.ID)
 			// Materialize at the target: a chunk adopting the class + state.
 			moved := l.rt.NewFaultChunk(mn.ID)
@@ -71,7 +71,7 @@ func (l *Layer) Migrate(obj *core.Object, target int, onDone func(core.Address))
 				Category: CatService,
 				Handler: func(mn2 *machine.Node, pkt2 *machine.Packet) {
 					mn2.Charge(c.RemoteRecvExtract + c.RemoteHandlerCall)
-					l.noteLoad(mn2.ID, mn.ID, ackLoad)
+					l.noteLoad(mn2.ID, mn.ID, ackLoad, pkt2.Arrival)
 					on := l.rt.NodeRT(mn2.ID)
 					l.rt.CompleteMigration(on, obj, addr)
 					if onDone != nil {

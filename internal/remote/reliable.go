@@ -2,6 +2,7 @@ package remote
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/machine"
 	"repro/internal/sim"
@@ -30,6 +31,13 @@ import (
 // ack is idempotent at the sender. In-order delivery means the handlers
 // above observe exactly the fault-free machine's semantics — only timing
 // and packet counts differ.
+//
+// With Options.AckDelay set, per-copy acks are replaced by *cumulative*
+// acknowledgments: the receiver's controller records which sequence numbers
+// have physically arrived per inbound link and, on a delayed-ack timer (or
+// piggybacked on a reverse-direction batch), tells the sender "everything
+// below cum has arrived, plus these out-of-order seqs". Dedup, reordering
+// and retransmission semantics are unchanged — only the ack traffic shrinks.
 
 // relHeaderBytes models the sequence number + flags added to every reliable
 // data packet.
@@ -37,6 +45,11 @@ const relHeaderBytes = 8
 
 // ackBytes is the wire size of an acknowledgment packet.
 const ackBytes = packetHeaderBytes + 8
+
+// maxSelAcks caps the selective (out-of-order) seq list carried by one
+// cumulative acknowledgment; arrivals beyond the cap are re-acked by a later
+// ack or repaired by retransmission.
+const maxSelAcks = 32
 
 // relMsg is one unacknowledged in-flight message at its sender. Records are
 // pooled per sender: the retransmission timer is embedded (re-armed in place,
@@ -65,6 +78,11 @@ type relSender struct {
 	// queued in the lane heap; they migrate to free once the slot is popped
 	// or swept (re-arming a still-queued timer is illegal).
 	retired []*relMsg
+
+	// scratch collects the pending seqs a cumulative ack covers, sorted
+	// before completion so recycling and tracing stay deterministic (map
+	// iteration order must never leak into event order).
+	scratch []uint64
 }
 
 // acquireMsg returns a recycled relMsg or allocates one with its retry
@@ -125,8 +143,10 @@ type reliable struct {
 	rto         sim.Time
 	maxBackoff  sim.Time
 	maxAttempts int
+	ackDelay    sim.Time // > 0 enables cumulative delayed acks
 	senders     []*relSender
 	receivers   []*relReceiver
+	acks        []*ackState // per node; nil unless ackDelay > 0
 }
 
 func newReliable(l *Layer) *reliable {
@@ -156,6 +176,13 @@ func newReliable(l *Layer) *reliable {
 		r.receivers[i] = &relReceiver{
 			nextExpected: make([]uint64, n),
 			held:         make([]map[uint64]*heldDelivery, n),
+		}
+	}
+	if l.opt.AckDelay > 0 {
+		r.ackDelay = l.opt.AckDelay
+		r.acks = make([]*ackState, n)
+		for i := 0; i < n; i++ {
+			r.acks[i] = newAckState(r, l.m.Node(i), n)
 		}
 	}
 	return r
@@ -209,12 +236,16 @@ func (r *reliable) xmit(mn *machine.Node, m *relMsg) {
 	// copy the instant it arrives, independent of how backlogged or
 	// paused the receiving processor is.
 	p.OnArrive = func(rn *machine.Node, p *machine.Packet) {
-		r.sendAck(rn, src, seq, p.Arrival)
+		if r.acks != nil {
+			r.noteArrival(rn, src, seq)
+		} else {
+			r.sendAck(rn, src, seq, p.Arrival)
+		}
 	}
 	p.Handler = func(rn *machine.Node, p *machine.Packet) {
 		r.receive(rn, src, seq, inner, p)
 	}
-	arrival := mn.Send(p)
+	arrival, batched := r.l.send(mn, p)
 	backoff := r.rto << uint(m.attempts)
 	if backoff > r.maxBackoff || backoff <= 0 {
 		backoff = r.maxBackoff
@@ -222,8 +253,19 @@ func (r *reliable) xmit(mn *machine.Node, m *relMsg) {
 	// Time out relative to the copy's scheduled arrival (which includes
 	// link queueing), not the send instant — a congested link must not
 	// trigger spurious retransmissions. A dropped copy times out from now.
-	delay := backoff
-	if now := mn.EventNow(); arrival > now {
+	// Delayed acks and batching defer the acknowledgment further: budget
+	// the ack delay, and for a batched copy (whose departure is unknown
+	// until its batch flushes) the full window plus the wire latency.
+	delay := backoff + r.ackDelay
+	if batched {
+		// The copy departs with its batch: no later than the record's write
+		// clock plus the window (the batcher bounds the clock spread), plus
+		// the wire time of a full batch as a conservative transit bound.
+		delay += r.l.bat.window + r.l.m.Cfg.Net.Latency(mn.Hops(m.dst), r.l.bat.maxBytes)
+		if ahead := mn.Clock - mn.EventNow(); ahead > 0 {
+			delay += ahead
+		}
+	} else if now := mn.EventNow(); arrival > now {
 		delay += arrival - now
 	}
 	r.l.m.Eng.StartTimer(mn.Lane(), mn.Lane(), &m.timer, delay, m.retryFn)
@@ -320,10 +362,233 @@ func (r *reliable) sendAck(rn *machine.Node, src int, seq uint64, at sim.Time) {
 		Dst:      src,
 		Size:     ackBytes,
 		Category: CatAck,
+		Ctrl:     true,
 		OnArrive: func(sn *machine.Node, p *machine.Packet) {
 			r.ackReceived(sn, rcv, seq)
 		},
 	})
+}
+
+// ackState is one node's delayed-acknowledgment ledger: which sequence
+// numbers have physically arrived on each inbound link, and which arrivals
+// still owe their sender an acknowledgment. All state is touched only on
+// the receiving node's lane.
+type ackState struct {
+	r         *reliable
+	rn        *machine.Node
+	cum       []uint64   // per source: every seq < cum has arrived here
+	above     [][]uint64 // per source: sorted arrived seqs beyond a gap
+	owed      []int      // per source: arrivals not yet acknowledged
+	owedSince []sim.Time // per source: arrival time of the first owed copy
+	owedTo    []int      // sources with owed arrivals, in first-owed order
+	timer     sim.Timer
+	fireFn    func()
+}
+
+func newAckState(r *reliable, rn *machine.Node, n int) *ackState {
+	a := &ackState{
+		r:         r,
+		rn:        rn,
+		cum:       make([]uint64, n),
+		above:     make([][]uint64, n),
+		owed:      make([]int, n),
+		owedSince: make([]sim.Time, n),
+	}
+	a.fireFn = a.flush
+	return a
+}
+
+// noteArrival records the controller-level arrival of seq on the src link
+// and schedules a cumulative acknowledgment instead of acking the copy
+// immediately. Runs in the data packet's OnArrive hook.
+func (r *reliable) noteArrival(rn *machine.Node, src int, seq uint64) {
+	a := r.acks[rn.ID]
+	switch {
+	case seq == a.cum[src]:
+		a.cum[src]++
+		ab := a.above[src]
+		for len(ab) > 0 && ab[0] == a.cum[src] {
+			ab = ab[1:]
+			a.cum[src]++
+		}
+		a.above[src] = ab
+	case seq > a.cum[src]:
+		if i, ok := slices.BinarySearch(a.above[src], seq); !ok {
+			a.above[src] = slices.Insert(a.above[src], i, seq)
+		}
+		// seq < cum: a duplicate copy; the pending cumulative ack covers it.
+	}
+	if a.owed[src] == 0 {
+		a.owedTo = append(a.owedTo, src)
+		a.owedSince[src] = rn.EventNow()
+	}
+	a.owed[src]++
+	if !a.timer.Pending() {
+		r.l.m.Eng.StartTimer(rn.Lane(), rn.Lane(), &a.timer, r.ackDelay, a.fireFn)
+	}
+}
+
+// flush emits the owed acknowledgments of every inbound link whose delay has
+// elapsed. It fires on the delayed-ack timer; links already covered by a
+// piggybacked ack since the timer was armed are skipped, and links whose
+// first owed arrival is more recent than the ack delay keep waiting (the
+// timer re-arms for the earliest of them), preserving each link's full
+// coalescing and piggybacking window.
+func (a *ackState) flush() {
+	now := a.rn.EventNow()
+	kept := a.owedTo[:0]
+	var nextDue sim.Time = -1
+	for _, src := range a.owedTo {
+		if a.owed[src] == 0 {
+			continue
+		}
+		due := a.owedSince[src] + a.r.ackDelay
+		if due <= now {
+			a.emit(src, now)
+			continue
+		}
+		kept = append(kept, src)
+		if nextDue < 0 || due < nextDue {
+			nextDue = due
+		}
+	}
+	a.owedTo = kept
+	if nextDue >= 0 {
+		a.r.l.m.Eng.StartTimer(a.rn.Lane(), a.rn.Lane(), &a.timer, nextDue-now, a.fireFn)
+	}
+}
+
+// emit sends one cumulative acknowledgment packet for the src link,
+// replacing owed-1 individual ack packets. Like per-copy acks it is
+// controller traffic: wire bandwidth, no processor time.
+func (a *ackState) emit(src int, at sim.Time) {
+	r := a.r
+	rcv := a.rn.ID
+	cum := a.cum[src]
+	var sel []uint64
+	if ab := a.above[src]; len(ab) > 0 {
+		k := len(ab)
+		if k > maxSelAcks {
+			k = maxSelAcks
+		}
+		sel = append([]uint64(nil), ab[:k]...)
+	}
+	owed := a.owed[src]
+	a.owed[src] = 0
+	c := &r.l.rt.NodeRT(rcv).C
+	c.AcksSent++
+	if owed > 1 {
+		c.AcksCoalesced += uint64(owed - 1)
+		r.l.tracef(at, rcv, trace.EvAckCoalesce,
+			"cum ack %d to n%d covers %d arrivals", cum, src, owed)
+	}
+	a.rn.ControllerSend(at, &machine.Packet{
+		Dst:      src,
+		Size:     ackBytes + 8*len(sel),
+		Category: CatAck,
+		Ctrl:     true,
+		OnArrive: func(sn *machine.Node, p *machine.Packet) {
+			r.ackCumReceived(sn, rcv, cum, sel)
+		},
+	})
+}
+
+// piggybackAck attaches the acknowledgments this node owes dst to a
+// reverse-direction batch departing at the given instant, replacing the owed
+// standalone ack packets entirely. It returns the extra wire bytes the ack
+// contributes.
+func (r *reliable) piggybackAck(mn *machine.Node, dst int, wb *wireBatch, at sim.Time) int {
+	if r.acks == nil {
+		return 0
+	}
+	a := r.acks[mn.ID]
+	owed := a.owed[dst]
+	if owed == 0 || at > a.owedSince[dst]+r.ackDelay {
+		// See piggybackOnPacket: a late-departing carrier must not steal
+		// acks the standalone timer would deliver sooner.
+		return 0
+	}
+	a.owed[dst] = 0
+	wb.hasAck = true
+	wb.ackCum = a.cum[dst]
+	if ab := a.above[dst]; len(ab) > 0 {
+		k := len(ab)
+		if k > maxSelAcks {
+			k = maxSelAcks
+		}
+		wb.ackSel = append(wb.ackSel[:0], ab[:k]...)
+	}
+	c := &r.l.rt.NodeRT(mn.ID).C
+	c.AcksCoalesced += uint64(owed)
+	r.l.tracef(mn.EventNow(), mn.ID, trace.EvAckCoalesce,
+		"piggyback ack %d on batch to n%d covers %d arrivals", wb.ackCum, dst, owed)
+	return 8 + 8*len(wb.ackSel)
+}
+
+// piggybackOnPacket attaches the acknowledgments this node owes the packet's
+// destination onto a lone outbound packet (the degenerate one-record batch)
+// departing at the given instant, chaining the packet's arrival hook and
+// growing its wire size by the ack framing. Like piggybackAck it replaces the
+// owed standalone ack packets.
+func (r *reliable) piggybackOnPacket(mn *machine.Node, p *machine.Packet, at sim.Time) int {
+	if r.acks == nil {
+		return 0
+	}
+	a := r.acks[mn.ID]
+	dst := p.Dst
+	owed := a.owed[dst]
+	if owed == 0 || at > a.owedSince[dst]+r.ackDelay {
+		// Nothing owed, or the carrier departs later than the standalone
+		// delayed ack would: stealing the owed acks here would stretch the
+		// ack latency past the bound the retransmission timeout budgets.
+		return 0
+	}
+	a.owed[dst] = 0
+	cum := a.cum[dst]
+	var sel []uint64
+	if ab := a.above[dst]; len(ab) > 0 {
+		k := len(ab)
+		if k > maxSelAcks {
+			k = maxSelAcks
+		}
+		sel = append([]uint64(nil), ab[:k]...)
+	}
+	c := &r.l.rt.NodeRT(mn.ID).C
+	c.AcksCoalesced += uint64(owed)
+	r.l.tracef(mn.EventNow(), mn.ID, trace.EvAckCoalesce,
+		"piggyback ack %d on packet to n%d covers %d arrivals", cum, dst, owed)
+	rcv := mn.ID
+	orig := p.OnArrive
+	p.OnArrive = func(sn *machine.Node, pk *machine.Packet) {
+		r.ackCumReceived(sn, rcv, cum, sel)
+		if orig != nil {
+			orig(sn, pk)
+		}
+	}
+	return 8 + 8*len(sel)
+}
+
+// ackCumReceived completes every pending message a cumulative ack covers:
+// all seqs below cum on the (sender -> rcv) link plus the selectively
+// listed out-of-order arrivals.
+func (r *reliable) ackCumReceived(sn *machine.Node, rcv int, cum uint64, sel []uint64) {
+	s := r.senders[sn.ID]
+	if pending := s.pending[rcv]; len(pending) > 0 {
+		scratch := s.scratch[:0]
+		for seq := range pending {
+			if seq < cum {
+				scratch = append(scratch, seq)
+			}
+		}
+		slices.Sort(scratch)
+		for _, seq := range scratch {
+			r.ackReceived(sn, rcv, seq)
+		}
+		s.scratch = scratch[:0]
+	}
+	for _, seq := range sel {
+		r.ackReceived(sn, rcv, seq)
+	}
 }
 
 // ackReceived runs at the sender's message controller: it marks (dst, seq)
@@ -358,5 +623,9 @@ func (r *reliable) Unacked() int {
 
 // String describes the protocol configuration.
 func (r *reliable) String() string {
-	return fmt.Sprintf("reliable{rto=%v maxBackoff=%v maxAttempts=%d}", r.rto, r.maxBackoff, r.maxAttempts)
+	s := fmt.Sprintf("reliable{rto=%v maxBackoff=%v maxAttempts=%d", r.rto, r.maxBackoff, r.maxAttempts)
+	if r.ackDelay > 0 {
+		s += fmt.Sprintf(" ackDelay=%v", r.ackDelay)
+	}
+	return s + "}"
 }

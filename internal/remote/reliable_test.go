@@ -7,11 +7,20 @@ import (
 	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // buildFaulty returns a runtime+layer over a machine with the given fault
 // plan installed and the reliable protocol enabled.
 func buildFaulty(t *testing.T, nodes int, plan fault.Plan, seed int64) (*core.Runtime, *Layer) {
+	return buildFaultyOpts(t, nodes, plan, Options{
+		StockDepth: 2, Placement: RoundRobin{}, Seed: seed, Reliable: true,
+	}, seed)
+}
+
+// buildFaultyOpts is buildFaulty with full control over the layer options,
+// for the batching/delayed-ack variants of the fault tests.
+func buildFaultyOpts(t *testing.T, nodes int, plan fault.Plan, opt Options, seed int64) (*core.Runtime, *Layer) {
 	t.Helper()
 	m, err := machine.New(machine.DefaultConfig(nodes))
 	if err != nil {
@@ -23,9 +32,7 @@ func buildFaulty(t *testing.T, nodes int, plan fault.Plan, seed int64) (*core.Ru
 	}
 	m.SetFaults(in)
 	rt := core.NewRuntime(m, core.Options{})
-	l := Attach(rt, Options{
-		StockDepth: 2, Placement: RoundRobin{}, Seed: seed, Reliable: true,
-	})
+	l := Attach(rt, opt)
 	return rt, l
 }
 
@@ -34,6 +41,11 @@ func buildFaulty(t *testing.T, nodes int, plan fault.Plan, seed int64) (*core.Ru
 func runCounterStream(t *testing.T, plan fault.Plan, seed int64, msgs int) ([]int64, *core.Runtime, *Layer) {
 	t.Helper()
 	rt, l := buildFaulty(t, 2, plan, seed)
+	return runCounterStreamOn(t, rt, l, msgs)
+}
+
+func runCounterStreamOn(t *testing.T, rt *core.Runtime, l *Layer, msgs int) ([]int64, *core.Runtime, *Layer) {
+	t.Helper()
 	inc := rt.Reg.Register("rel.inc", 1)
 	kick := rt.Reg.Register("rel.kick", 1)
 
@@ -212,5 +224,141 @@ func TestReliableMigrationUnderFaults(t *testing.T) {
 	}
 	if c := rt.TotalStats(); c.LostMessages() != 0 {
 		t.Errorf("lost %d messages during migration", c.LostMessages())
+	}
+}
+
+// wireOpts is the reliable protocol with the full wire path on: per-link
+// batching plus delayed cumulative acks.
+func wireOpts(seed int64) Options {
+	return Options{
+		StockDepth: 2, Placement: RoundRobin{}, Seed: seed, Reliable: true,
+		BatchWindow: 10 * sim.Microsecond,
+		AckDelay:    50 * sim.Microsecond,
+	}
+}
+
+func TestReliableBatchedUnderFaults(t *testing.T) {
+	// 10% drop + 10% duplication with batching and delayed acks on: the
+	// exactly-once, in-order guarantee must be unchanged, and both
+	// coalescing mechanisms must actually engage.
+	plan := fault.UniformLinks(0.10, 0.10, 3*sim.Microsecond)
+	const msgs = 300
+	rt, l := buildFaultyOpts(t, 2, plan, wireOpts(17), 17)
+	order, _, _ := runCounterStreamOn(t, rt, l, msgs)
+	if len(order) != msgs {
+		t.Fatalf("delivered %d messages, want %d", len(order), msgs)
+	}
+	for i, v := range order {
+		if v != int64(i) {
+			t.Fatalf("order[%d] = %d: FIFO violated under batching+faults", i, v)
+		}
+	}
+	c := rt.TotalStats()
+	if c.LostMessages() != 0 || c.RelAbandoned != 0 {
+		t.Errorf("lost=%d abandoned=%d, want 0/0", c.LostMessages(), c.RelAbandoned)
+	}
+	if c.BatchesSent == 0 || c.AcksCoalesced == 0 {
+		t.Errorf("batches=%d coalesced-acks=%d: wire-path options never engaged",
+			c.BatchesSent, c.AcksCoalesced)
+	}
+	if l.rel.Unacked() != 0 {
+		t.Errorf("%d messages still unacked at quiescence", l.rel.Unacked())
+	}
+}
+
+func TestReliableBatchedDeterminism(t *testing.T) {
+	// Batching + delayed acks under 10% drop + 10% dup: two runs with the
+	// same seed and plan must produce identical deliveries and counters.
+	plan := fault.UniformLinks(0.10, 0.10, 5*sim.Microsecond)
+	run := func() ([]int64, stats.Counters) {
+		rt, l := buildFaultyOpts(t, 2, plan, wireOpts(42), 42)
+		order, _, _ := runCounterStreamOn(t, rt, l, 150)
+		return order, rt.TotalStats()
+	}
+	a, ca := run()
+	b, cb := run()
+	if len(a) != len(b) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery order diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if ca != cb {
+		t.Errorf("same seed+plan produced different counters:\n%+v\nvs\n%+v", ca, cb)
+	}
+}
+
+func TestReliableDelayedAcksReduceAckTraffic(t *testing.T) {
+	// On a clean link, immediate mode sends one ack per message; the
+	// delayed-ack timer must cut that by at least half on the same stream.
+	immediate, rtI, _ := runCounterStream(t, fault.Plan{}, 3, 200)
+	rtD, l := buildFaultyOpts(t, 2, fault.Plan{}, wireOpts(3), 3)
+	delayed, _, _ := runCounterStreamOn(t, rtD, l, 200)
+	if len(immediate) != 200 || len(delayed) != 200 {
+		t.Fatalf("deliveries: immediate=%d delayed=%d, want 200/200", len(immediate), len(delayed))
+	}
+	ci, cd := rtI.TotalStats(), rtD.TotalStats()
+	if cd.AcksSent*2 > ci.AcksSent {
+		t.Errorf("delayed acks sent %d ack packets vs %d immediate: want <= half",
+			cd.AcksSent, ci.AcksSent)
+	}
+	if cd.Retransmits != 0 {
+		t.Errorf("clean link with delayed acks produced %d retransmits", cd.Retransmits)
+	}
+}
+
+func TestLoadHorizonStaleness(t *testing.T) {
+	// A piggybacked load sample is trusted inside the horizon and treated
+	// as unknown (staleLoad) beyond it.
+	m, err := machine.New(machine.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.NewRuntime(m, core.Options{})
+	l := Attach(rt, Options{
+		StockDepth: 2, Placement: RoundRobin{}, Seed: 1,
+		LoadHorizon: 100 * sim.Microsecond,
+	})
+	ns := l.nodes[0]
+	if got := ns.knownLoad(1, l); got != staleLoad {
+		t.Errorf("no sample yet: knownLoad = %d, want staleLoad", got)
+	}
+	l.noteLoad(0, 1, 7, 50*sim.Microsecond)
+	m.Node(0).Clock = 120 * sim.Microsecond // sample age 70µs < horizon
+	if got := ns.knownLoad(1, l); got != 7 {
+		t.Errorf("fresh sample: knownLoad = %d, want 7", got)
+	}
+	m.Node(0).Clock = 200 * sim.Microsecond // sample age 150µs > horizon
+	if got := ns.knownLoad(1, l); got != staleLoad {
+		t.Errorf("expired sample: knownLoad = %d, want staleLoad", got)
+	}
+}
+
+func TestLocationCacheInvalidate(t *testing.T) {
+	// A newer advertised location for an already-cached object overwrites
+	// the old entry and counts an invalidation.
+	m, err := machine.New(machine.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.NewRuntime(m, core.Options{})
+	l := Attach(rt, Options{StockDepth: 2, Placement: RoundRobin{}, Seed: 1})
+	stale := core.Address{Node: 1, Obj: &core.Object{}}
+	freshA := core.Address{Node: 2, Obj: &core.Object{}}
+	freshB := core.Address{Node: 0, Obj: &core.Object{}}
+	mn := m.Node(0)
+	l.learnLocation(mn, stale, freshA)
+	l.learnLocation(mn, stale, freshA) // same fact: no invalidation
+	if c := rt.NodeRT(0).C.LocCacheInvalidates; c != 0 {
+		t.Fatalf("re-learning the same location counted %d invalidations", c)
+	}
+	l.learnLocation(mn, stale, freshB)
+	if c := rt.NodeRT(0).C.LocCacheInvalidates; c != 1 {
+		t.Errorf("overwrite counted %d invalidations, want 1", c)
+	}
+	if got := l.nodes[0].locCache[stale]; got != freshB {
+		t.Errorf("cache maps stale object to %+v, want %+v", got, freshB)
 	}
 }

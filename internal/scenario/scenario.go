@@ -108,6 +108,13 @@ type Spec struct {
 	Grid  int `json:"grid,omitempty"`  // diffusion grid edge
 	Iters int `json:"iters,omitempty"` // diffusion iterations
 
+	// Wire-path options, applied to the baseline and the faulted run alike
+	// so the two runs stay comparable. A positive AckDelayNs forces the
+	// reliable protocol on in the (fault-free) baseline too, since delayed
+	// acks only exist inside it.
+	BatchWindowNs int64 `json:"batch_window_ns,omitempty"`
+	AckDelayNs    int64 `json:"ack_delay_ns,omitempty"`
+
 	Faults Faults `json:"faults"`
 	Assert Assert `json:"assert"`
 }
@@ -209,6 +216,8 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 	if seed == 0 {
 		seed = abcl.DefaultSeed
 	}
+	batch := sim.Time(sp.BatchWindowNs)
+	ackDelay := sim.Time(sp.AckDelayNs)
 	switch sp.Workload {
 	case "nqueens":
 		n := sp.N
@@ -217,7 +226,8 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 		}
 		res, err := nqueens.Run(nqueens.Options{
 			N: n, Nodes: sp.Nodes, Seed: seed, Faults: plan,
-			Placement: abcl.PlaceRoundRobin, // deterministic across runs
+			Placement:   abcl.PlaceRoundRobin, // deterministic across runs
+			BatchWindow: batch, AckDelay: ackDelay, Reliable: ackDelay > 0,
 		})
 		if err != nil {
 			return RunResult{}, err
@@ -232,9 +242,14 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 		if depth == 0 {
 			depth = 6
 		}
-		sys, err := abcl.NewSystem(
-			abcl.WithNodes(sp.Nodes), abcl.WithSeed(seed), abcl.WithFaults(plan),
-		)
+		opts := []abcl.Option{abcl.WithNodes(sp.Nodes), abcl.WithSeed(seed), abcl.WithFaults(plan)}
+		if batch > 0 {
+			opts = append(opts, abcl.WithBatching(batch, 0))
+		}
+		if ackDelay > 0 {
+			opts = append(opts, abcl.WithReliable(), abcl.WithDelayedAcks(ackDelay))
+		}
+		sys, err := abcl.NewSystem(opts...)
 		if err != nil {
 			return RunResult{}, err
 		}
@@ -259,6 +274,7 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 		res, err := diffusion.Run(diffusion.Options{
 			W: grid, H: grid, Iters: iters, Nodes: sp.Nodes,
 			BlockPlace: true, Seed: seed, Faults: plan,
+			BatchWindow: batch, AckDelay: ackDelay, Reliable: ackDelay > 0,
 		})
 		if err != nil {
 			return RunResult{}, err

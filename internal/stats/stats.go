@@ -48,9 +48,19 @@ type Counters struct {
 	RelDelivered   uint64 // unique reliable messages delivered to handlers
 	RelAbandoned   uint64 // messages given up on after the retry limit
 	Retransmits    uint64 // retransmissions after an acknowledgment timeout
-	AcksSent       uint64 // acknowledgments transmitted by receivers
+	AcksSent       uint64 // acknowledgment packets transmitted by receivers
+	AcksCoalesced  uint64 // acknowledgments absorbed into a cumulative ack
 	DupSuppressed  uint64 // received duplicate copies discarded by dedup
 	HeldOutOfOrder uint64 // messages held to restore per-link FIFO order
+
+	// Wire-path batching (per-link aggregation of small packets).
+	BatchesSent uint64 // multi-message hardware packets transmitted
+	BatchedMsgs uint64 // logical messages carried inside those batches
+
+	// Remote-location cache (forwarding short-circuit after migration).
+	LocCacheHits        uint64 // sends rewritten to a cached post-migration address
+	LocCacheMisses      uint64 // stale-address deliveries that triggered a location update
+	LocCacheInvalidates uint64 // cached addresses overwritten by a newer location
 
 	// Scheduling.
 	SchedEnqueues uint64
@@ -87,8 +97,14 @@ func (c *Counters) Add(o *Counters) {
 	c.RelAbandoned += o.RelAbandoned
 	c.Retransmits += o.Retransmits
 	c.AcksSent += o.AcksSent
+	c.AcksCoalesced += o.AcksCoalesced
 	c.DupSuppressed += o.DupSuppressed
 	c.HeldOutOfOrder += o.HeldOutOfOrder
+	c.BatchesSent += o.BatchesSent
+	c.BatchedMsgs += o.BatchedMsgs
+	c.LocCacheHits += o.LocCacheHits
+	c.LocCacheMisses += o.LocCacheMisses
+	c.LocCacheInvalidates += o.LocCacheInvalidates
 	c.SchedEnqueues += o.SchedEnqueues
 	c.SchedDequeues += o.SchedDequeues
 	c.Preemptions += o.Preemptions
@@ -120,6 +136,15 @@ func (c *Counters) LostMessages() uint64 {
 		return 0
 	}
 	return c.RelSent - c.RelDelivered
+}
+
+// MsgsPerBatch returns the mean number of logical messages per multi-message
+// hardware packet (zero when batching never coalesced anything).
+func (c *Counters) MsgsPerBatch() float64 {
+	if c.BatchesSent == 0 {
+		return 0
+	}
+	return float64(c.BatchedMsgs) / float64(c.BatchesSent)
 }
 
 // DormantFraction returns the fraction of local messages that were delivered

@@ -33,26 +33,33 @@ const (
 	EvAck       // an acknowledgment was sent or processed
 	EvDupMsg    // a duplicate message was suppressed at the receiver
 	EvHold      // an out-of-order message was held for in-order delivery
+	// Wire-path optimisation events.
+	EvBatch       // a multi-message hardware packet was flushed onto a link
+	EvAckCoalesce // a cumulative ack replaced several per-packet acks
+	EvLocUpdate   // a remote-location cache update was sent or applied
 )
 
 var kindNames = [...]string{
-	EvSend:       "send",
-	EvInvoke:     "invoke",
-	EvBuffer:     "buffer",
-	EvBlock:      "block",
-	EvResume:     "resume",
-	EvSchedule:   "schedule",
-	EvDispatch:   "dispatch",
-	EvCreate:     "create",
-	EvRemoteSend: "remote-send",
-	EvRemoteRecv: "remote-recv",
-	EvLinkDrop:   "link-drop",
-	EvLinkDup:    "link-dup",
-	EvNodePause:  "node-pause",
-	EvRetry:      "retry",
-	EvAck:        "ack",
-	EvDupMsg:     "dup-msg",
-	EvHold:       "hold",
+	EvSend:        "send",
+	EvInvoke:      "invoke",
+	EvBuffer:      "buffer",
+	EvBlock:       "block",
+	EvResume:      "resume",
+	EvSchedule:    "schedule",
+	EvDispatch:    "dispatch",
+	EvCreate:      "create",
+	EvRemoteSend:  "remote-send",
+	EvRemoteRecv:  "remote-recv",
+	EvLinkDrop:    "link-drop",
+	EvLinkDup:     "link-dup",
+	EvNodePause:   "node-pause",
+	EvRetry:       "retry",
+	EvAck:         "ack",
+	EvDupMsg:      "dup-msg",
+	EvHold:        "hold",
+	EvBatch:       "batch",
+	EvAckCoalesce: "ack-coalesce",
+	EvLocUpdate:   "loc-update",
 }
 
 func (k Kind) String() string {
