@@ -7,8 +7,9 @@
 #   make bench-baseline  run the perf suite, save BENCH_<date>.json
 #   make bench-compare   run the perf suite, diff against BASELINE json
 #   make bench-gate      fail if the gated benchmarks regress >GATE_PCT% vs BASELINE
+#   make cover           per-package test coverage summary
 
-.PHONY: all tier1 vet-race scenario-smoke check bench-baseline bench-compare bench-gate
+.PHONY: all tier1 vet-race scenario-smoke check cover bench-baseline bench-compare bench-gate
 
 all: tier1
 
@@ -21,12 +22,15 @@ tier1:
 vet-race:
 	go vet ./...
 	go test -race ./internal/parexec/... ./internal/core/... ./internal/sim/... ./internal/conformance/... ./internal/remote/...
-	go test -race -run 'TestWirePath' .
+	go test -race -run 'TestWirePath|TestCrash|TestSnapshot|TestCheckpoint' .
 
 scenario-smoke:
 	go run ./cmd/abclsim -workload scenario -scenario all
 
 check: tier1 vet-race scenario-smoke
+
+cover:
+	go test -cover ./... | grep -v 'no test files'
 
 # Performance tracking. bench-baseline records the suite into a dated JSON
 # report; bench-compare records a fresh report and prints a side-by-side

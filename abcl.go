@@ -28,6 +28,7 @@ package abcl
 import (
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/machine"
@@ -74,6 +75,16 @@ type (
 	LinkFault = fault.LinkFault
 	// NodePause pauses one node's processor for a virtual-time window.
 	NodePause = fault.NodePause
+	// NodeCrash kills one node at a virtual time and restarts it after a
+	// delay; recovery rolls the machine back to the last checkpoint. See
+	// WithCheckpoint.
+	NodeCrash = fault.NodeCrash
+	// Snapshot is one complete coordinated checkpoint (System.Snapshot).
+	Snapshot = checkpoint.Snapshot
+	// Snapshotter converts one class's state box to and from its
+	// stable-store image (System.RegisterSnapshotter). Classes without one
+	// use the default plain-copy codec.
+	Snapshotter = checkpoint.Snapshotter
 )
 
 // Wildcard matches any node in a LinkFault's Src or Dst.
@@ -169,6 +180,7 @@ type settings struct {
 	ackDelay    Time
 	loadHorizon Time
 	noLocCache  bool
+	ckptEvery   Time // periodic checkpoint interval; 0 = off
 }
 
 // Option configures a System under construction. Options are applied in
@@ -358,6 +370,28 @@ func WithoutLocationCache() Option {
 	}
 }
 
+// WithCheckpoint enables the coordinated checkpoint subsystem with the given
+// snapshot interval: node 0 starts a Chandy–Lamport-style marker round every
+// interval of virtual time, capturing a consistent global cut (object state,
+// buffered messages, saved contexts, protocol windows, in-flight records)
+// against a simulated stable store. When the fault plan declares node
+// crashes (NodeCrash), each restart rolls the whole machine back to the last
+// complete round and resumes — with reliable delivery on (which this option
+// forces), the recovered run delivers every message exactly once and
+// produces the same application results as a fault-free run. A crash plan
+// without WithCheckpoint recovers from an automatic baseline checkpoint
+// taken before execution starts (restart-from-the-beginning). Incompatible
+// with WithParallelSim: a restore touches every event lane at once.
+func WithCheckpoint(interval Time) Option {
+	return func(s *settings) error {
+		if interval <= 0 {
+			return fmt.Errorf("abcl: WithCheckpoint(%v): interval must be positive", interval)
+		}
+		s.ckptEvery = interval
+		return nil
+	}
+}
+
 // WithParallelSim runs the simulation on the conservative parallel executor
 // with the given worker count: node event lanes whose next events fall inside
 // one minimum-wire-latency lookahead window fire concurrently, then the
@@ -384,9 +418,11 @@ type System struct {
 	// Trace holds runtime events when tracing was enabled (WithTrace).
 	Trace *trace.Ring
 
-	seed       int64
-	faults     FaultPlan
-	parWorkers int
+	seed        int64
+	faults      FaultPlan
+	parWorkers  int
+	ckpt        *checkpoint.Manager // nil unless checkpointing is active
+	ckptStarted bool
 }
 
 // NewSystem builds a System from functional options:
@@ -431,7 +467,15 @@ func NewSystem(opts ...Option) (*System, error) {
 		}
 		ring = trace.NewRing(s.traceCap)
 	}
-	reliable := s.reliable || s.faults.Enabled()
+	// Checkpointing is active when asked for explicitly or implied by a
+	// crash plan (recovery needs at least the baseline checkpoint). It
+	// forces reliable delivery: the snapshot markers and the post-restore
+	// replay ride the ack/retry protocol's per-link sequence space.
+	ckptOn := s.ckptEvery > 0 || len(s.faults.Crashes) > 0
+	if ckptOn && s.parWorkers > 1 {
+		return nil, fmt.Errorf("abcl: WithCheckpoint (or a crash plan) and WithParallelSim are incompatible: a restore touches every event lane at once")
+	}
+	reliable := s.reliable || s.faults.Enabled() || ckptOn
 	if s.ackDelay > 0 && !reliable {
 		return nil, fmt.Errorf("abcl: WithDelayedAcks requires the reliable protocol (combine with WithFaults or WithReliable)")
 	}
@@ -447,6 +491,11 @@ func NewSystem(opts ...Option) (*System, error) {
 		MaxStackDepth: s.maxStack,
 		Trace:         ring,
 	})
+	if ckptOn {
+		// Object tracking must be on before anything — bootstrap objects,
+		// stocked chunks, reply destinations — is created.
+		rt.EnableSnapshots()
+	}
 	net := remote.Attach(rt, remote.Options{
 		StockDepth:      s.stock,
 		Placement:       s.placement,
@@ -459,7 +508,16 @@ func NewSystem(opts ...Option) (*System, error) {
 		LoadHorizon:     s.loadHorizon,
 		NoLocationCache: s.noLocCache,
 	})
-	return &System{M: m, RT: rt, Net: net, Trace: ring, seed: s.seed, faults: s.faults, parWorkers: s.parWorkers}, nil
+	sys := &System{M: m, RT: rt, Net: net, Trace: ring, seed: s.seed, faults: s.faults, parWorkers: s.parWorkers}
+	if ckptOn {
+		// Retention must cover every reliable send, including host-time ones
+		// (e.g. a Migrate before the first Run), so it starts here rather
+		// than at the manager's Start.
+		net.EnableCheckpoint()
+		sys.ckpt = checkpoint.New(rt, net, s.ckptEvery, nil)
+		sys.ckpt.SetTrace(ring)
+	}
+	return sys, nil
 }
 
 // MustNewSystem is NewSystem for known-good configurations.
@@ -515,6 +573,9 @@ type Config struct {
 	// NoLocationCache disables the post-migration location cache
 	// (WithoutLocationCache).
 	NoLocationCache bool
+	// CheckpointInterval, when positive, enables periodic coordinated
+	// checkpoints (WithCheckpoint).
+	CheckpointInterval Time
 }
 
 // Options translates the legacy struct into the equivalent option list,
@@ -567,6 +628,9 @@ func (cfg Config) Options() []Option {
 	if cfg.NoLocationCache {
 		opts = append(opts, WithoutLocationCache())
 	}
+	if cfg.CheckpointInterval > 0 {
+		opts = append(opts, WithCheckpoint(cfg.CheckpointInterval))
+	}
 	return opts
 }
 
@@ -607,15 +671,74 @@ func (s *System) Send(to Address, p Pattern, args ...Value) {
 	s.RT.Inject(to, p, args...)
 }
 
+// startCkpt lazily starts the checkpoint subsystem: the baseline round-0
+// snapshot must be taken after the application's setup (bootstrap objects
+// created, initial messages injected) but before the machine runs, so it
+// happens on the first Run/Snapshot/Restore rather than in NewSystem.
+func (s *System) startCkpt() {
+	if s.ckpt == nil || s.ckptStarted {
+		return
+	}
+	s.ckptStarted = true
+	s.ckpt.Start(s.faults.Crashes)
+}
+
 // Run freezes the system (fixing patterns and building all virtual function
 // tables) and executes until quiescence — on the parallel executor when
-// WithParallelSim was given, sequentially otherwise.
+// WithParallelSim was given, sequentially otherwise. When checkpointing is
+// active the baseline checkpoint, periodic snapshot rounds and any declared
+// crash/restart events are installed before the first event fires.
 func (s *System) Run() error {
+	s.startCkpt()
 	if s.parWorkers > 1 {
 		s.RT.Freeze()
 		return s.M.ParallelRun(s.parWorkers)
 	}
 	return s.RT.Run()
+}
+
+// Checkpointing returns the checkpoint manager, or nil when neither
+// WithCheckpoint nor a crash plan was configured.
+func (s *System) Checkpointing() *checkpoint.Manager { return s.ckpt }
+
+// RegisterSnapshotter installs a per-class checkpoint codec; classes without
+// one are captured by the default plain copy of their state box. Requires
+// checkpointing (WithCheckpoint or a crash plan).
+func (s *System) RegisterSnapshotter(cl *Class, sn Snapshotter) error {
+	if s.ckpt == nil {
+		return fmt.Errorf("abcl: RegisterSnapshotter requires WithCheckpoint or a crash plan")
+	}
+	s.ckpt.Registry().Register(cl, sn)
+	return nil
+}
+
+// Snapshot captures a consistent global checkpoint of the current machine
+// state and makes it the restore target. The system must be quiescent
+// (before the first Run or after a Run returned); mid-run snapshots are the
+// periodic marker rounds' job. Requires checkpointing.
+func (s *System) Snapshot() (*Snapshot, error) {
+	if s.ckpt == nil {
+		return nil, fmt.Errorf("abcl: Snapshot requires WithCheckpoint or a crash plan")
+	}
+	s.startCkpt()
+	return s.ckpt.Snapshot(), nil
+}
+
+// Restore rolls the whole machine back to the last stable checkpoint (the
+// most recent of: the baseline, a completed periodic round, an explicit
+// Snapshot). The system must be quiescent; the next Run resumes execution
+// from the restored state, replaying the cut's in-flight messages. Requires
+// checkpointing.
+func (s *System) Restore() error {
+	if s.ckpt == nil {
+		return fmt.Errorf("abcl: Restore requires WithCheckpoint or a crash plan")
+	}
+	s.startCkpt()
+	if s.ckpt.Stable() == nil {
+		return fmt.Errorf("abcl: Restore without a checkpoint")
+	}
+	s.ckpt.Restore()
+	return nil
 }
 
 // Migrate moves a quiescent object to another node (a category-4 service):
@@ -672,6 +795,15 @@ func (s *System) AckDelay() Time { return s.Net.AckDelay() }
 
 // LocationCache reports whether the post-migration location cache is on.
 func (s *System) LocationCache() bool { return s.Net.LocationCache() }
+
+// CheckpointRounds returns the number of completed checkpoint rounds
+// (including the baseline), or zero when checkpointing is off.
+func (s *System) CheckpointRounds() int {
+	if s.ckpt == nil {
+		return 0
+	}
+	return s.ckpt.Rounds()
+}
 
 // InstrTime converts an instruction count to virtual time under the
 // system's clock and CPI configuration.

@@ -18,6 +18,13 @@
 //
 //	abclsim -workload nqueens -n 10 -nodes 256 -batch-window 10000 -ack-delay 500000
 //
+// Periodic coordinated checkpoints and crash faults exercise the recovery
+// subsystem: -checkpoint-interval snapshots the whole machine on a virtual
+// cadence, and each (repeatable) -crash kills a node and restarts it from
+// the latest checkpoint:
+//
+//	abclsim -workload nqueens -n 8 -nodes 8 -checkpoint-interval 200us -crash 2@1ms+300us
+//
 // Declarative fault scenarios (fleet + fault schedule + assertions) run via
 // the scenario workload:
 //
@@ -33,6 +40,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -67,6 +75,9 @@ var (
 	dup    = flag.Float64("dup", 0, "link fault: per-packet duplication probability [0,1]")
 	jitter = flag.Int64("jitter", 0, "link fault: max extra latency per packet (ns)")
 
+	ckptInterval timeFlag
+	crashes      crashList
+
 	batchWindow = flag.Int64("batch-window", 0, "per-link packet batching window (ns); 0 disables batching")
 	batchBytes  = flag.Int("batch-bytes", 0, "batch early-flush byte budget (0 selects the default)")
 	ackDelay    = flag.Int64("ack-delay", 0, "delayed cumulative ack interval (ns); 0 keeps immediate acks; implies -reliable")
@@ -79,6 +90,13 @@ var (
 	benchJSON  = flag.String("bench-json", "", "write a wall-clock benchmark summary (JSON) to this file")
 )
 
+func init() {
+	flag.Var(&ckptInterval, "checkpoint-interval",
+		"coordinated checkpoint cadence, as ns or a Go duration (e.g. 200us); 0 disables periodic checkpoints")
+	flag.Var(&crashes, "crash",
+		"crash fault node@at+restartAfter (ns or Go durations, e.g. 2@1ms+300us); repeatable; implies checkpoint support")
+}
+
 // benchEvents/benchMsgs are filled by workloads that expose their engine and
 // message counts, for the -bench-json summary.
 var (
@@ -86,13 +104,81 @@ var (
 	benchMsgs   atomic.Uint64
 )
 
-// faultPlan translates the -drop/-dup/-jitter flags into a FaultPlan; the
-// zero plan disables injection (and the reliable protocol with it).
-func faultPlan() abcl.FaultPlan {
-	if *drop == 0 && *dup == 0 && *jitter == 0 {
-		return abcl.FaultPlan{}
+// timeFlag is a virtual-time flag value accepting either raw nanoseconds
+// ("200000") or a Go duration ("200us").
+type timeFlag abcl.Time
+
+func (t *timeFlag) String() string { return fmt.Sprintf("%d", int64(*t)) }
+
+func (t *timeFlag) Set(s string) error {
+	v, err := parseVirtualTime(s)
+	if err != nil {
+		return err
 	}
-	return abcl.UniformFaults(*drop, *dup, abcl.Time(*jitter))
+	*t = timeFlag(v)
+	return nil
+}
+
+// crashList collects repeated -crash flags, each "node@at+restartAfter".
+type crashList []abcl.NodeCrash
+
+func (c *crashList) String() string {
+	parts := make([]string, len(*c))
+	for i, nc := range *c {
+		parts[i] = fmt.Sprintf("%d@%d+%d", nc.Node, int64(nc.At), int64(nc.RestartAfter))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (c *crashList) Set(s string) error {
+	nodeStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return fmt.Errorf("crash %q: want node@at+restartAfter", s)
+	}
+	atStr, durStr, ok := strings.Cut(rest, "+")
+	if !ok {
+		return fmt.Errorf("crash %q: want node@at+restartAfter", s)
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return fmt.Errorf("crash %q: bad node: %v", s, err)
+	}
+	at, err := parseVirtualTime(atStr)
+	if err != nil {
+		return fmt.Errorf("crash %q: bad crash time: %v", s, err)
+	}
+	dur, err := parseVirtualTime(durStr)
+	if err != nil {
+		return fmt.Errorf("crash %q: bad restart-after: %v", s, err)
+	}
+	*c = append(*c, abcl.NodeCrash{Node: node, At: at, RestartAfter: dur})
+	return nil
+}
+
+// parseVirtualTime reads a virtual-time value as raw nanoseconds or a Go
+// duration string.
+func parseVirtualTime(s string) (abcl.Time, error) {
+	if ns, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return abcl.Time(ns), nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return abcl.Time(d.Nanoseconds()), nil
+}
+
+// faultPlan translates the -drop/-dup/-jitter/-crash flags into a FaultPlan;
+// the zero plan disables injection (and the reliable protocol with it).
+func faultPlan() abcl.FaultPlan {
+	var p abcl.FaultPlan
+	if *drop != 0 || *dup != 0 || *jitter != 0 {
+		p = abcl.UniformFaults(*drop, *dup, abcl.Time(*jitter))
+	}
+	for _, c := range crashes {
+		p = p.WithCrash(c.Node, c.At, c.RestartAfter)
+	}
+	return p
 }
 
 // sysOptions assembles the common System options from the flag set.
@@ -131,6 +217,9 @@ func sysOptions() []abcl.Option {
 	}
 	if *noLocCache {
 		opts = append(opts, abcl.WithoutLocationCache())
+	}
+	if ckptInterval > 0 {
+		opts = append(opts, abcl.WithCheckpoint(abcl.Time(ckptInterval)))
 	}
 	return opts
 }
@@ -345,7 +434,8 @@ func runDiffusion() error {
 		Policy: parsePolicy(), BlockPlace: *block,
 		Seed: *seed, Faults: faultPlan(),
 		BatchWindow: abcl.Time(*batchWindow), AckDelay: abcl.Time(*ackDelay),
-		Reliable: *reliable || *ackDelay > 0,
+		Reliable:           *reliable || *ackDelay > 0,
+		CheckpointInterval: abcl.Time(ckptInterval),
 	})
 	if err != nil {
 		return err
@@ -441,5 +531,9 @@ func printStats(c abcl.Counters) {
 			c.LinkDrops, c.LinkDups, c.NodePauses)
 		fmt.Printf("    reliable: sent=%d delivered=%d retransmits=%d dup-suppressed=%d held=%d lost=%d\n",
 			c.RelSent, c.RelDelivered, c.Retransmits, c.DupSuppressed, c.HeldOutOfOrder, c.LostMessages())
+	}
+	if c.CkptRounds > 0 || c.NodeCrashes > 0 {
+		fmt.Printf("    checkpoint: rounds=%d stable-bytes=%d   crashes=%d restarts=%d replayed=%d\n",
+			c.CkptRounds, c.CkptBytes, c.NodeCrashes, c.NodeRestarts, c.ReplayedMsgs)
 	}
 }

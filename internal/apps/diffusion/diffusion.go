@@ -42,6 +42,10 @@ type Options struct {
 	BatchWindow abcl.Time
 	AckDelay    abcl.Time
 	Reliable    bool
+
+	// CheckpointInterval, when positive, enables periodic coordinated
+	// checkpoints (crashes in Faults restart from the latest one).
+	CheckpointInterval abcl.Time
 }
 
 // Result reports a run.
@@ -86,6 +90,7 @@ func Run(opt Options) (Result, error) {
 	sys, err := abcl.NewSystemConfig(abcl.Config{
 		Nodes: opt.Nodes, Policy: opt.Policy, Seed: opt.Seed, Faults: opt.Faults,
 		BatchWindow: opt.BatchWindow, AckDelay: opt.AckDelay, Reliable: opt.Reliable,
+		CheckpointInterval: opt.CheckpointInterval,
 	})
 	if err != nil {
 		return Result{}, err
@@ -96,17 +101,27 @@ func Run(opt Options) (Result, error) {
 		sys.Pattern("df.val1", 1),
 	}
 	step := sys.Pattern("df.step", 0)
-	done := sys.Pattern("df.done", 1)
+	done := sys.Pattern("df.done", 2) // cell index, final residual
 
 	w, h := opt.W, opt.H
 	cells := make([]abcl.Address, w*h)
 	var collector abcl.Address
+	// Host-side observer fields. A checkpoint restore does not roll these
+	// back, so the handler must be idempotent under redelivery (the
+	// host-write rule, DESIGN.md §10): the done message identifies its cell
+	// and the bitmap makes the count a set union, while the residual max is
+	// idempotent by itself.
+	reported := make([]bool, w*h)
 	finished := 0
 	maxResid := 0.0
 	coll := sys.Class("df.collector", 0, nil)
 	coll.Method(done, func(ctx *abcl.Ctx) {
-		finished++
-		if r := ctx.Arg(0).Float(); r > maxResid {
+		idx := int(ctx.Arg(0).Int())
+		if !reported[idx] {
+			reported[idx] = true
+			finished++
+		}
+		if r := ctx.Arg(1).Float(); r > maxResid {
 			maxResid = r
 		}
 	})
@@ -181,7 +196,7 @@ func Run(opt Options) (Result, error) {
 		it := ctx.State(stIter).Int() - 1
 		ctx.SetState(stIter, abcl.Int(it))
 		if it == 0 {
-			ctx.SendPast(collector, done, ctx.State(stResid))
+			ctx.SendPast(collector, done, ctx.State(stIdx), ctx.State(stResid))
 			return
 		}
 		q := 1 - p

@@ -60,6 +60,10 @@ type Options struct {
 	BatchMaxBytes int
 	Reliable      bool
 	AckDelay      sim.Time
+
+	// CheckpointInterval, when positive, enables periodic coordinated
+	// checkpoints (crashes in Faults restart from the latest one).
+	CheckpointInterval sim.Time
 }
 
 // Result reports one parallel run.
@@ -89,17 +93,18 @@ func Run(opt Options) (Result, error) {
 		placement = abcl.PlaceRandom
 	}
 	sys, err := abcl.NewSystemConfig(abcl.Config{
-		Nodes:         opt.Nodes,
-		Policy:        opt.Policy,
-		Placement:     placement,
-		Seed:          opt.Seed,
-		StockDepth:    opt.StockDepth,
-		MaxStackDepth: opt.MaxDepth,
-		Faults:        opt.Faults,
-		BatchWindow:   opt.BatchWindow,
-		BatchMaxBytes: opt.BatchMaxBytes,
-		Reliable:      opt.Reliable,
-		AckDelay:      opt.AckDelay,
+		Nodes:              opt.Nodes,
+		Policy:             opt.Policy,
+		Placement:          placement,
+		Seed:               opt.Seed,
+		StockDepth:         opt.StockDepth,
+		MaxStackDepth:      opt.MaxDepth,
+		Faults:             opt.Faults,
+		BatchWindow:        opt.BatchWindow,
+		BatchMaxBytes:      opt.BatchMaxBytes,
+		Reliable:           opt.Reliable,
+		AckDelay:           opt.AckDelay,
+		CheckpointInterval: opt.CheckpointInterval,
 	})
 	if err != nil {
 		return Result{}, err
@@ -134,11 +139,17 @@ type Driver struct {
 	finished   bool
 }
 
-// State variable indices for the search-node class.
+// State variable indices for the search-node class. The spawn cursor lives
+// in simulated state rather than in the spawn continuation's closure: a
+// checkpoint captures parked continuations by reference, so their captured
+// variables must never be mutated after parking (the write-once environment
+// contract, DESIGN.md §10) — advancing the cursor through SetState keeps the
+// mutation inside the state box the snapshot copies.
 const (
 	stParent  = 0
 	stPending = 1
 	stAcc     = 2
+	stNext    = 3 // next index into the valid-columns slice while spawning
 )
 
 // Build registers the N-queens classes on sys. Call Start before sys.Run.
@@ -151,15 +162,20 @@ func Build(sys *abcl.System, n, workFactor int) *Driver {
 
 	// The search-tree object: created with its parent's address, expanded
 	// once, then accumulates children's done-counts.
-	d.nodeCls = sys.Class("nq.node", 3, func(ic *abcl.InitCtx) {
+	d.nodeCls = sys.Class("nq.node", 4, func(ic *abcl.InitCtx) {
 		ic.SetState(stParent, ic.CtorArg(0))
 		ic.SetState(stPending, abcl.Int(0))
 		ic.SetState(stAcc, abcl.Int(0))
+		ic.SetState(stNext, abcl.Int(0))
 	})
 	d.nodeCls.Method(d.patExpand, d.expandMethod)
 	d.nodeCls.Method(d.patDone, d.doneMethod)
 
 	// The collector records the final solution count and completion time.
+	// These are host-side observer fields, so they are not rolled back by a
+	// checkpoint restore — which is safe because the method only *sets*
+	// values that are deterministic across timelines (the search is
+	// confluent), never accumulates (the host-write rule, DESIGN.md §10).
 	d.collectorCls = sys.Class("nq.collector", 1, nil)
 	d.collectorCls.Method(d.patDone, func(ctx *abcl.Ctx) {
 		d.solutions = ctx.Arg(0).Int()
@@ -168,10 +184,11 @@ func Build(sys *abcl.System, n, workFactor int) *Driver {
 	})
 
 	// The root behaves like a search node with an empty board.
-	d.rootCls = sys.Class("nq.root", 3, func(ic *abcl.InitCtx) {
+	d.rootCls = sys.Class("nq.root", 4, func(ic *abcl.InitCtx) {
 		ic.SetState(stParent, ic.CtorArg(0))
 		ic.SetState(stPending, abcl.Int(0))
 		ic.SetState(stAcc, abcl.Int(0))
+		ic.SetState(stNext, abcl.Int(0))
 	})
 	d.rootCls.Method(d.patStart, func(ctx *abcl.Ctx) {
 		d.expandBoard(ctx, Board{})
@@ -216,25 +233,28 @@ func (d *Driver) expandBoard(ctx *abcl.Ctx, b Board) {
 // spawnChildren creates children for each valid column in CPS order: the
 // creation itself can block when the chunk stock runs dry, so the loop is
 // expressed as a continuation chain. A single continuation and ctor-arg
-// slice serve every child of this node; the continuation advances i and
-// re-arms itself until the valid columns are exhausted.
+// slice serve every child of this node; the continuation re-arms itself
+// until the valid columns are exhausted. The loop cursor advances through
+// the stNext state variable, never through the closure environment — b and
+// valid are captured but write-once, which keeps a parked continuation
+// restorable from a checkpoint.
 func (d *Driver) spawnChildren(ctx *abcl.Ctx, b Board, valid []int8, i int) {
 	if i == len(valid) {
 		return
 	}
 	ctorArgs := []abcl.Value{abcl.Ref(ctx.Self())}
-	var child Board
 	var k func(*abcl.Ctx, abcl.Address)
 	k = func(ctx *abcl.Ctx, addr abcl.Address) {
-		ctx.SendPast(addr, d.patExpand, abcl.Any(child))
-		i++
-		if i == len(valid) {
+		j := int(ctx.State(stNext).Int())
+		ctx.SendPast(addr, d.patExpand, abcl.Any(nextChild(b, valid[j])))
+		j++
+		if j == len(valid) {
 			return
 		}
-		child = nextChild(b, valid[i])
+		ctx.SetState(stNext, abcl.Int(int64(j)))
 		ctx.Create(d.nodeCls, ctorArgs, k)
 	}
-	child = nextChild(b, valid[i])
+	ctx.SetState(stNext, abcl.Int(int64(i)))
 	ctx.Create(d.nodeCls, ctorArgs, k)
 }
 

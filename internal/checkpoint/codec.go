@@ -1,0 +1,52 @@
+package checkpoint
+
+import "repro/internal/core"
+
+// Snapshotter converts one class's state box to and from its stable-store
+// image. Implementations must be pure: Encode must not mutate the state box,
+// Decode must not retain the image, and Decode(Encode(s)) must reproduce s
+// exactly — recovery correctness rests on the round trip being lossless.
+// Classes without a registered Snapshotter use the default codec: a plain,
+// reflection-free copy of the []core.Value box, which is exact for every
+// bundled application (their state is held entirely in the box).
+type Snapshotter interface {
+	// Encode returns the stable-store image of a state box.
+	Encode(state []core.Value) []core.Value
+	// Decode reconstructs the state box from an image produced by Encode.
+	// The returned slice must have the class's StateSize length.
+	Decode(image []core.Value) []core.Value
+}
+
+// Registry maps classes to their Snapshotters. The zero registry (or a class
+// with no registration) uses the default plain-copy codec.
+type Registry struct {
+	codecs map[*core.Class]Snapshotter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{codecs: make(map[*core.Class]Snapshotter)}
+}
+
+// Register installs a Snapshotter for a class, replacing any previous one.
+func (r *Registry) Register(cl *core.Class, s Snapshotter) {
+	r.codecs[cl] = s
+}
+
+// encode is the core.SnapshotCodec used at capture time.
+func (r *Registry) encode(cl *core.Class, state []core.Value) []core.Value {
+	if s := r.codecs[cl]; s != nil {
+		return s.Encode(state)
+	}
+	return append([]core.Value(nil), state...)
+}
+
+// decode is the core.SnapshotCodec used at restore time. The default codec
+// returns the image itself: core.RestoreNode copies it into the live box, so
+// aliasing the stable image is safe.
+func (r *Registry) decode(cl *core.Class, image []core.Value) []core.Value {
+	if s := r.codecs[cl]; s != nil {
+		return s.Decode(image)
+	}
+	return image
+}

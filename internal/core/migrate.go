@@ -99,7 +99,17 @@ func (r *Runtime) AdoptMigratedState(n *NodeRT, obj *Object, cl *Class, ms Migra
 		obj.vftp = cl.initTable
 		return
 	}
-	obj.state = ms.State
+	// The image must be copied, not adopted by alias: with checkpointing on
+	// the transfer record stays retained for possible replay after a crash,
+	// and mutations through the live object must never reach back into it.
+	// (CtorArgs above may alias — constructor arguments are read-only.)
+	if ms.State != nil {
+		st := n.allocState(len(ms.State))
+		copy(st, ms.State)
+		obj.state = st
+	} else {
+		obj.state = nil
+	}
 	obj.ctorArgs = nil
 	obj.vftp = cl.dormant
 }

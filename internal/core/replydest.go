@@ -19,11 +19,13 @@ type replyState struct {
 // newReplyDest allocates a reply destination object on node n.
 func (n *NodeRT) newReplyDest() *Object {
 	n.rt.Freeze()
-	return &Object{
+	obj := &Object{
 		node: n.id,
 		vftp: n.rt.replyVFT,
 		rd:   &replyState{},
 	}
+	n.rt.trackObject(n.id, obj)
+	return obj
 }
 
 // IsReplyDest reports whether the object is a reply destination.

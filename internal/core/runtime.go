@@ -240,6 +240,7 @@ func (r *Runtime) newObject(cl *Class, node int, ctorArgs []Value) *Object {
 	} else {
 		r.pending = append(r.pending, obj)
 	}
+	r.trackObject(node, obj)
 	return obj
 }
 
@@ -258,7 +259,9 @@ func (r *Runtime) NewObjectOn(node int, cl *Class, ctorArgs ...Value) Address {
 // the remote-creation protocol.
 func (r *Runtime) NewFaultChunk(node int) *Object {
 	r.Freeze()
-	return &Object{node: node, vftp: r.faultVFT}
+	obj := &Object{node: node, vftp: r.faultVFT}
+	r.trackObject(node, obj)
+	return obj
 }
 
 // InitChunk performs the class-specific initialization of a chunk on the

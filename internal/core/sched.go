@@ -53,6 +53,12 @@ type NodeRT struct {
 	// object creation with one per block.
 	stateArena []Value
 
+	// hosted lists every object homed on this node in creation order, for
+	// checkpoint traversal. Populated only when snapshots are enabled
+	// (track), keeping the default path untouched and parallel-run safe.
+	hosted []*Object
+	track  bool
+
 	C stats.Counters
 }
 

@@ -6,7 +6,10 @@
 //   - link faults: per-link message drop, duplication, and extra latency
 //     jitter, applied per transmission attempt;
 //   - node faults: a node pausing (no instruction executes) for a window of
-//     virtual time, then resuming with its receive buffers intact.
+//     virtual time, then resuming with its receive buffers intact;
+//   - node crashes: a node failing at a point in virtual time, losing all
+//     volatile state, and restarting later from its latest checkpoint
+//     (executed by package checkpoint; declared and validated here).
 //
 // A Plan is a declarative description of the faults to inject; an Injector
 // is a Plan bound to a seed and node count, implementing machine.FaultModel.
@@ -56,6 +59,18 @@ type NodePause struct {
 	For  sim.Time
 }
 
+// NodeCrash fails a node at virtual time At, discarding all of its volatile
+// state — receive buffers, scheduling queues, object state, reliable-layer
+// windows — unlike a NodePause, which preserves everything. Packets addressed
+// to the node while it is down are lost at its message controller. The node
+// restarts RestartAfter later from its most recent checkpoint (see package
+// checkpoint); a crash plan therefore requires checkpointing to be enabled.
+type NodeCrash struct {
+	Node         int
+	At           sim.Time
+	RestartAfter sim.Time
+}
+
 // Plan is a declarative fault schedule. The zero Plan injects nothing.
 type Plan struct {
 	// Seed overrides the fault stream seed; 0 derives it from the system
@@ -65,10 +80,14 @@ type Plan struct {
 	Links []LinkFault
 	// Pauses are node pause windows.
 	Pauses []NodePause
+	// Crashes are node crash/restart events (state-losing, unlike Pauses).
+	Crashes []NodeCrash
 }
 
 // Enabled reports whether the plan injects any fault at all.
-func (p Plan) Enabled() bool { return len(p.Links) > 0 || len(p.Pauses) > 0 }
+func (p Plan) Enabled() bool {
+	return len(p.Links) > 0 || len(p.Pauses) > 0 || len(p.Crashes) > 0
+}
 
 // UniformLinks returns a plan that applies drop/dup/jitter uniformly to
 // every link.
@@ -83,8 +102,27 @@ func (p Plan) WithPause(node int, at, dur sim.Time) Plan {
 	return cp
 }
 
+// WithCrash returns a copy of the plan with an extra node crash at `at`,
+// restarting `restartAfter` later.
+func (p Plan) WithCrash(node int, at, restartAfter sim.Time) Plan {
+	cp := p
+	cp.Crashes = append(append([]NodeCrash(nil), p.Crashes...),
+		NodeCrash{Node: node, At: at, RestartAfter: restartAfter})
+	return cp
+}
+
+// window is one outage interval [start, end) on a node, used by Validate to
+// reject overlapping pause/crash schedules, which have no well-defined
+// semantics (is the node paused or dead?).
+type window struct {
+	start, end sim.Time
+	what       string
+	idx        int
+}
+
 // Validate checks probabilities, windows and node references against the
-// machine size.
+// machine size, and rejects overlapping pause/crash windows on the same
+// node.
 func (p Plan) Validate(nodes int) error {
 	for i, lf := range p.Links {
 		if lf.Drop < 0 || lf.Drop > 1 || lf.Dup < 0 || lf.Dup > 1 {
@@ -102,12 +140,38 @@ func (p Plan) Validate(nodes int) error {
 			}
 		}
 	}
+	windows := make(map[int][]window)
 	for i, np := range p.Pauses {
 		if np.Node < 0 || np.Node >= nodes {
 			return fmt.Errorf("fault: pause %d: node %d out of range [0,%d)", i, np.Node, nodes)
 		}
 		if np.At < 0 || np.For <= 0 {
-			return fmt.Errorf("fault: pause %d: window [%v, +%v) invalid", i, np.At, np.For)
+			return fmt.Errorf("fault: pause %d: window [%v, +%v) invalid (start must be >= 0, duration > 0)", i, np.At, np.For)
+		}
+		windows[np.Node] = append(windows[np.Node], window{np.At, np.At + np.For, "pause", i})
+	}
+	for i, nc := range p.Crashes {
+		if nc.Node < 0 || nc.Node >= nodes {
+			return fmt.Errorf("fault: crash %d: node %d out of range [0,%d)", i, nc.Node, nodes)
+		}
+		if nc.At < 0 || nc.RestartAfter <= 0 {
+			return fmt.Errorf("fault: crash %d: outage [%v, +%v) invalid (start must be >= 0, restart-after > 0)", i, nc.At, nc.RestartAfter)
+		}
+		windows[nc.Node] = append(windows[nc.Node], window{nc.At, nc.At + nc.RestartAfter, "crash", i})
+	}
+	for node := 0; node < nodes; node++ {
+		ws := windows[node]
+		for i := 1; i < len(ws); i++ { // insertion sort by start: windows per node are few
+			for j := i; j > 0 && ws[j].start < ws[j-1].start; j-- {
+				ws[j], ws[j-1] = ws[j-1], ws[j]
+			}
+		}
+		for i := 1; i < len(ws); i++ {
+			if ws[i].start < ws[i-1].end {
+				return fmt.Errorf("fault: node %d: %s %d [%v, %v) overlaps %s %d [%v, %v)",
+					node, ws[i].what, ws[i].idx, ws[i].start, ws[i].end,
+					ws[i-1].what, ws[i-1].idx, ws[i-1].start, ws[i-1].end)
+			}
 		}
 	}
 	return nil
@@ -278,5 +342,6 @@ func (in *Injector) PausedUntil(node int, at sim.Time) sim.Time {
 
 // String summarizes the plan for logs.
 func (in *Injector) String() string {
-	return fmt.Sprintf("fault{seed=%d links=%d pauses=%d}", in.seed, len(in.plan.Links), len(in.plan.Pauses))
+	return fmt.Sprintf("fault{seed=%d links=%d pauses=%d crashes=%d}",
+		in.seed, len(in.plan.Links), len(in.plan.Pauses), len(in.plan.Crashes))
 }

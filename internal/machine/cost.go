@@ -60,6 +60,16 @@ type Cost struct {
 	ChunkInit     int // class-specific initialization of a chunk (category 2)
 	ChunkRefill   int // allocating the replacement chunk on the target
 	FaultEnqueue  int // extra cost of buffering into an uninitialized chunk
+
+	// Checkpointing: the simulated stable store (battery-backed or mirrored
+	// store reachable by DMA, in the spirit of the multicomputer object-store
+	// mechanisms literature). A snapshot pays a fixed setup plus a per-word
+	// streaming cost for everything captured; a restore pays the symmetric
+	// read-back costs.
+	CkptSetup       int // per-snapshot fixed overhead (walk + DMA setup)
+	CkptStoreWord   int // streaming one 8-byte word into the stable store
+	RestoreSetup    int // per-restart fixed overhead (locate + DMA setup)
+	RestoreLoadWord int // streaming one 8-byte word back from the stable store
 }
 
 // DefaultCost returns the calibration used throughout the paper's tables:
@@ -104,7 +114,24 @@ func DefaultCost() Cost {
 		ChunkInit:     12,
 		ChunkRefill:   18,
 		FaultEnqueue:  4,
+
+		CkptSetup:       120,
+		CkptStoreWord:   2,
+		RestoreSetup:    150,
+		RestoreLoadWord: 2,
 	}
+}
+
+// CkptInstr returns the modelled instruction cost of writing a snapshot of
+// `bytes` bytes to the stable store.
+func (c Cost) CkptInstr(bytes int) int {
+	return c.CkptSetup + c.CkptStoreWord*((bytes+7)/8)
+}
+
+// RestoreInstr returns the modelled instruction cost of reading a snapshot
+// of `bytes` bytes back from the stable store.
+func (c Cost) RestoreInstr(bytes int) int {
+	return c.RestoreSetup + c.RestoreLoadWord*((bytes+7)/8)
 }
 
 // DormantPath returns the total instruction overhead of an intra-node

@@ -164,6 +164,12 @@ type Packet struct {
 	// recycles them into the receiving node's free list once consumed.
 	// Packets built as plain literals are never recycled.
 	pooled bool
+
+	// era stamps the machine era the packet was launched in. A global
+	// checkpoint restore bumps the machine's era, revoking every packet
+	// still in flight from the rolled-back timeline: a stale-era packet is
+	// discarded at the destination controller instead of delivered.
+	era uint32
 }
 
 // Retain removes p from pool management: the machine will not recycle or
@@ -218,6 +224,7 @@ type Node struct {
 	Runner        Runner
 	resumePending bool
 	inResume      bool
+	downUntil     sim.Time // crash outage: node is dead until this time (0 = up)
 
 	// Counters.
 	InstrCount     uint64
@@ -227,6 +234,8 @@ type Node struct {
 	MsgsSent       uint64 // logical messages launched (>= PacketsSent with batching)
 	PacketsDropped uint64 // transmissions lost to injected link faults
 	PacketsDuped   uint64 // extra copies injected by link faults
+	CrashDrops     uint64 // packets lost at the controller while the node was down
+	EraDrops       uint64 // in-flight packets revoked by a checkpoint restore
 }
 
 // Machine is the full multicomputer: an event engine plus nodes and the
@@ -240,6 +249,11 @@ type Machine struct {
 
 	faults    FaultModel
 	faultSink FaultSink
+
+	// era is the current machine timeline. A global checkpoint restore
+	// bumps it, invalidating every packet launched before the restore (see
+	// Packet.era); zero-cost on the default path.
+	era uint32
 
 	// Typed event kinds registered with the engine, so the hot delivery
 	// and scheduling paths dispatch through a switch instead of allocating
@@ -283,6 +297,16 @@ func (m *Machine) TotalDropped() uint64 {
 	var t uint64
 	for _, n := range m.nodes {
 		t += n.PacketsDropped
+	}
+	return t
+}
+
+// TotalCrashDrops returns the machine-wide count of packets lost at dead
+// message controllers during crash outages.
+func (m *Machine) TotalCrashDrops() uint64 {
+	var t uint64
+	for _, n := range m.nodes {
+		t += n.CrashDrops
 	}
 	return t
 }
@@ -477,6 +501,7 @@ func (n *Node) sendAt(at sim.Time, p *Packet) sim.Time {
 		panic(fmt.Sprintf("machine: send to invalid node %d", p.Dst))
 	}
 	p.Src = n.ID
+	p.era = n.m.era
 	dst := n.m.nodes[p.Dst]
 	hops := n.m.Cfg.Topology.Hops(n.ID, p.Dst)
 	base := n.m.Cfg.Net.Latency(hops, p.Size)
@@ -544,11 +569,80 @@ const Dropped = sim.Time(-1)
 // path allocation-free.
 var oneCopy = []sim.Time{0}
 
+// BeginOutage crashes the node until the given virtual time: all packets
+// already in its receive queue are lost, and packets arriving while the node
+// is down are discarded at the message controller. Higher layers (package
+// checkpoint) are responsible for discarding their own per-node state and
+// for restoring it at restart; the machine only models the dead interval.
+func (n *Node) BeginOutage(until sim.Time) {
+	n.downUntil = until
+	for i, p := range n.rx {
+		n.rx[i] = nil
+		n.CrashDrops++
+		n.ReleasePacket(p)
+	}
+	n.rx = n.rx[:0]
+}
+
+// EndOutage marks the node as up again, advances its clock to the restart
+// time without accruing busy time, and schedules a scheduler turn so restored
+// work resumes.
+func (n *Node) EndOutage(at sim.Time) {
+	n.downUntil = 0
+	n.SyncClock(at)
+	n.ensureResume()
+}
+
+// Down reports whether the node is inside a crash outage at time at.
+func (n *Node) Down(at sim.Time) bool { return n.downUntil > at }
+
+// BumpEra starts a new machine timeline: every packet currently in flight
+// (scheduled for delivery but not yet delivered) is revoked and will be
+// discarded at its destination's controller. Called by the checkpoint
+// subsystem when a global restore rolls the runtime back to a snapshot.
+func (m *Machine) BumpEra() { m.era++ }
+
+// DropRx discards every delivered-but-unpolled packet, counting them as
+// era drops. Used by a global checkpoint restore to clear the receive
+// queues of surviving nodes before their state is rolled back.
+func (n *Node) DropRx() {
+	for i, p := range n.rx {
+		n.rx[i] = nil
+		n.EraDrops++
+		n.ReleasePacket(p)
+	}
+	n.rx = n.rx[:0]
+}
+
+// TotalEraDrops returns the machine-wide count of packets revoked by
+// checkpoint restores.
+func (m *Machine) TotalEraDrops() uint64 {
+	var t uint64
+	for _, n := range m.nodes {
+		t += n.EraDrops
+	}
+	return t
+}
+
 // deliver runs at the packet's arrival time on the engine: the message
 // controller hook fires first, then the packet joins the node's receive
 // queue and the node is woken if idle. Controller-only packets (OnArrive
 // set, nil Handler) never reach the processor.
 func (n *Node) deliver(p *Packet) {
+	if p.era != n.m.era {
+		// Launched before a global checkpoint restore: the timeline that
+		// produced this packet was rolled back, so it never happened.
+		n.EraDrops++
+		n.ReleasePacket(p)
+		return
+	}
+	if n.downUntil > p.Arrival {
+		// The node is crashed: its message controller is dead, so the packet
+		// is lost in its entirety — no OnArrive, no ack, no buffering.
+		n.CrashDrops++
+		n.ReleasePacket(p)
+		return
+	}
 	if p.OnArrive != nil {
 		p.OnArrive(n, p)
 		if p.Handler == nil {
@@ -592,6 +686,12 @@ func (n *Node) ensureResume() {
 // Keeping turns small interleaves node progress correctly in virtual time.
 func (n *Node) resumeAt(now sim.Time) {
 	n.resumePending = false
+	if n.downUntil > now {
+		// The node crashed after this turn was scheduled: nothing runs. The
+		// restart path (EndOutage) schedules a fresh turn for the restored
+		// state, so a dead turn is simply discarded, not deferred.
+		return
+	}
 	if f := n.m.faults; f != nil {
 		if until := f.PausedUntil(n.ID, now); until > now {
 			// The node is inside an injected pause window: defer this turn

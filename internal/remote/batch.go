@@ -144,6 +144,12 @@ func (lb *linkBatch) flush() {
 	}
 	mn := lb.mn
 	l := lb.b.l
+	if mn.Down(mn.EventNow()) {
+		// The sender crashed with this batch open: a dead node launches
+		// nothing. The records stay queued; the restart's global restore
+		// tears the batch down and replays what the restored cut still owes.
+		return
+	}
 	// The batch departs when assembly completes: after the last record was
 	// written, and no earlier than the deadline event itself. The launch is
 	// the message controller's work, so no processor time is charged here —

@@ -17,6 +17,7 @@ const (
 	CatService = 4 // other services (load info is piggybacked instead)
 	CatAck     = 5 // reliable-delivery acknowledgment (not in the paper)
 	CatBatch   = 6 // multi-record hardware packet (per-link batching)
+	CatCkpt    = 7 // checkpoint-protocol control (markers, snapshot acks)
 )
 
 // packetHeaderBytes models the paper's compact message format: "a total of
@@ -105,9 +106,10 @@ type Layer struct {
 	m     *machine.Machine
 	opt   Options
 	nodes []*nodeState
-	rel   *reliable // nil unless Options.Reliable
-	bat   *batcher  // nil unless Options.BatchWindow > 0
-	locOn bool      // remote-location cache enabled
+	rel   *reliable  // nil unless Options.Reliable
+	bat   *batcher   // nil unless Options.BatchWindow > 0
+	ck    *ckptState // nil unless EnableCheckpoint was called
+	locOn bool       // remote-location cache enabled
 
 	// hWire is the shared receive handler for all layer packets; the
 	// per-send state travels in the packet's Payload as a *wireMsg instead
@@ -147,6 +149,7 @@ const (
 	wmBlockingCreate
 	wmChunk
 	wmLocUpd // location update: `to` moved to `replyTo` (forward short-circuit)
+	wmCkpt   // checkpoint-protocol control: `then` runs at the receiver
 )
 
 // setArgs copies args into the record — inline when they fit, a fresh slice
@@ -170,6 +173,12 @@ func (w *wireMsg) setArgs(args []core.Value) {
 // to the handler twice. The reliable protocol deduplicates by sequence
 // number before the handler runs, so it restores pooling under faults.
 func (l *Layer) wirePooled() bool {
+	if l.ck != nil {
+		// Checkpoint retention holds payload records by reference until they
+		// become stable; recycling would rewrite a record the replay path may
+		// still need verbatim.
+		return false
+	}
 	return l.m.Faults() == nil || l.rel != nil
 }
 
@@ -235,6 +244,11 @@ func (l *Layer) handleWire(rn *machine.Node, p *machine.Packet) {
 	case wmLocUpd:
 		rn.Charge(extract + c.RemoteHandlerCall)
 		l.learnLocation(rn, w.to, w.replyTo)
+	case wmCkpt:
+		rn.Charge(extract + c.RemoteHandlerCall)
+		if w.then != nil {
+			w.then()
+		}
 	case wmChunk:
 		rn.Charge(extract + c.RemoteHandlerCall + c.StockPush)
 		if l.opt.StockDepth > 0 {
@@ -555,6 +569,13 @@ func (l *Layer) CreateOn(ctx *core.Ctx, target int, cl *core.Class, ctorArgs []c
 	n.C.RemoteCreations++
 	self := ctx.SelfObject()
 	frame := ctx.CurrentFrame()
+	if l.ck != nil {
+		// The frame pointer rides the request's onCreated closure, which
+		// checkpoint retention may replay after a crash — long after the
+		// original invocation completed and released the frame. Pin it out
+		// of the pool so the replayed resume finds its content intact.
+		n.PinFrame(frame)
+	}
 	l.sendBlockingCreate(n, target, cl, ctorArgs, e, func(addr core.Address) {
 		n.ResumeSaved(self, frame, func(ctx2 *core.Ctx) { k(ctx2, addr) })
 	})

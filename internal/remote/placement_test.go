@@ -1,0 +1,122 @@
+package remote
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// placementSys builds a quiescent machine+layer for direct Pick calls.
+func placementSys(t *testing.T, nodes int, lopt Options) (*core.Runtime, *Layer) {
+	t.Helper()
+	rt, l := buildSys(t, nodes, core.Options{}, lopt)
+	return rt, l
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	_, l := placementSys(t, 4, Options{Placement: RoundRobin{}})
+	p := RoundRobin{}
+	// Each node cycles over all nodes (self included), starting past itself's
+	// initial cursor: node 0 yields 1,2,3,0,1,...
+	want := []int{1, 2, 3, 0, 1, 2, 3, 0}
+	for i, w := range want {
+		if got := p.Pick(l, 0, nil); got != w {
+			t.Fatalf("pick %d from node 0 = %d, want %d", i, got, w)
+		}
+	}
+	// Per-node cursors are independent: node 2's cycle is unaffected by the
+	// eight picks issued from node 0.
+	for i, w := range []int{1, 2, 3, 0} {
+		if got := p.Pick(l, 2, nil); got != w {
+			t.Fatalf("pick %d from node 2 = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPlacementSingleNodeDegenerate(t *testing.T) {
+	_, l := placementSys(t, 1, Options{Placement: RoundRobin{}})
+	policies := []Placement{RoundRobin{}, Random{}, LocalOnly{}, LoadBased{}, DepthLocal{}}
+	for _, p := range policies {
+		for i := 0; i < 8; i++ {
+			if got := p.Pick(l, 0, nil); got != 0 {
+				t.Errorf("%s: pick on a 1-node machine = %d, want 0", p.Name(), got)
+			}
+		}
+	}
+}
+
+func TestRoundRobinVersusLoadBased(t *testing.T) {
+	// A skewed load picture: every remote node busy except node 3.
+	// Round-robin ignores it and blindly cycles to node 1; load-based finds a
+	// minimum-load node (the idle self or node 3).
+	_, l := placementSys(t, 4, Options{Placement: RoundRobin{}, Seed: 1})
+	ns := l.nodes[0]
+	for i := 1; i < 4; i++ {
+		ns.loads[i] = 5
+	}
+	ns.loads[3] = 0
+
+	if got := (RoundRobin{}).Pick(l, 0, nil); got != 1 {
+		t.Fatalf("round-robin pick = %d, want 1 (blind cycle)", got)
+	}
+	// A sample size covering many draws makes every node a candidate under
+	// the deterministic per-node generator.
+	lb := LoadBased{Candidates: 16}
+	for i := 0; i < 8; i++ {
+		got := lb.Pick(l, 0, nil)
+		if got == 1 || got == 2 {
+			t.Fatalf("load-based pick = %d, want an idle node (0 or 3)", got)
+		}
+	}
+}
+
+func TestLoadBasedDefaultsAndOwnLoad(t *testing.T) {
+	// knownLoad for the picking node itself reads the live scheduling queue,
+	// not a piggybacked sample.
+	_, l := placementSys(t, 2, Options{Placement: LoadBased{}, Seed: 1})
+	ns := l.nodes[0]
+	ns.loads[0] = 99 // must be ignored for self
+	if got := ns.knownLoad(0, l); got != 0 {
+		t.Fatalf("own knownLoad = %d, want live queue length 0", got)
+	}
+}
+
+func TestLoadBasedStaleSampleExpiry(t *testing.T) {
+	const horizon = sim.Time(1000)
+	_, l := placementSys(t, 4, Options{Placement: LoadBased{}, Seed: 1, LoadHorizon: horizon})
+	ns := l.nodes[0]
+	l.m.Node(0).SyncClock(2000)
+
+	// Node 2 advertised an attractive zero load, but the sample is outside
+	// the horizon; node 1's worse sample is fresh.
+	ns.loads[2], ns.loadAt[2] = 0, 500
+	ns.loads[1], ns.loadAt[1] = 3, 1500
+
+	if got := ns.knownLoad(2, l); got != staleLoad {
+		t.Fatalf("expired sample knownLoad = %d, want staleLoad", got)
+	}
+	if got := ns.knownLoad(1, l); got != 3 {
+		t.Fatalf("fresh sample knownLoad = %d, want 3", got)
+	}
+	// A node never heard from (loadAt zero) is unknown, not idle.
+	if got := ns.knownLoad(3, l); got != staleLoad {
+		t.Fatalf("never-sampled knownLoad = %d, want staleLoad", got)
+	}
+	// Pick must not chase the stale minimum.
+	lb := LoadBased{Candidates: 16}
+	for i := 0; i < 8; i++ {
+		if got := lb.Pick(l, 0, nil); got == 2 || got == 3 {
+			t.Fatalf("load-based pick = %d under horizon, want a node with fresh information", got)
+		}
+	}
+
+	// Without a horizon the same stale zero is taken at face value.
+	_, l2 := placementSys(t, 4, Options{Placement: LoadBased{}, Seed: 1})
+	ns2 := l2.nodes[0]
+	l2.m.Node(0).SyncClock(2000)
+	ns2.loads[2], ns2.loadAt[2] = 0, 500
+	if got := ns2.knownLoad(2, l2); got != 0 {
+		t.Fatalf("no-horizon knownLoad = %d, want 0 (stale sample trusted)", got)
+	}
+}

@@ -215,6 +215,9 @@ func (r *reliable) send(mn *machine.Node, pkt *machine.Packet) {
 		s.pending[dst] = make(map[uint64]*relMsg)
 	}
 	s.pending[dst][seq] = m
+	if r.l.ck != nil {
+		r.l.ck.retain(src, dst, seq, m)
+	}
 	r.l.rt.NodeRT(src).C.RelSent++
 	r.xmit(mn, m)
 }
@@ -275,6 +278,12 @@ func (r *reliable) xmit(mn *machine.Node, m *relMsg) {
 // abandon the message past the attempt limit.
 func (r *reliable) retry(mn *machine.Node, m *relMsg) {
 	if m.acked {
+		return
+	}
+	if mn.Down(mn.EventNow()) {
+		// The sender is inside a crash outage: a dead node transmits nothing.
+		// The record stays pending; the restart's global restore re-pends and
+		// retransmits everything the restored cut still owes.
 		return
 	}
 	c := &r.l.rt.NodeRT(mn.ID).C
@@ -436,6 +445,12 @@ func (r *reliable) noteArrival(rn *machine.Node, src int, seq uint64) {
 // coalescing and piggybacking window.
 func (a *ackState) flush() {
 	now := a.rn.EventNow()
+	if a.rn.Down(now) {
+		// Dead controllers acknowledge nothing; the crash discarded the owed
+		// arrivals along with the rest of the node, and the restore resets
+		// this ledger from the restored cursors.
+		return
+	}
 	kept := a.owedTo[:0]
 	var nextDue sim.Time = -1
 	for _, src := range a.owedTo {

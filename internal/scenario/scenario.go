@@ -1,6 +1,7 @@
 // Package scenario executes declarative fault-injection scenarios: a JSON
 // spec names a workload, a fleet size, a fault schedule (link drop /
-// duplication / jitter rules and node pause windows) and assertions. The
+// duplication / jitter rules, node pause windows and node crashes that
+// recover from coordinated checkpoints) and assertions. The
 // runner executes the workload twice with the same seed — once on a
 // fault-free machine, once under the declared faults — and checks that the
 // faulted run reaches quiescence, computes the same answer, loses no
@@ -53,10 +54,19 @@ type Pause struct {
 	For  int64 `json:"for_ns"`
 }
 
+// Crash kills one node at a virtual time; the machine rolls back to the
+// latest coordinated checkpoint when the node restarts RestartAfter later.
+type Crash struct {
+	Node         int   `json:"node"`
+	At           int64 `json:"at_ns"`
+	RestartAfter int64 `json:"restart_after_ns"`
+}
+
 // Faults is the declarative fault schedule of a scenario.
 type Faults struct {
-	Links  []Link  `json:"links,omitempty"`
-	Pauses []Pause `json:"pauses,omitempty"`
+	Links   []Link  `json:"links,omitempty"`
+	Pauses  []Pause `json:"pauses,omitempty"`
+	Crashes []Crash `json:"crashes,omitempty"`
 }
 
 // Plan translates the schedule into a FaultPlan.
@@ -71,6 +81,11 @@ func (f Faults) Plan() abcl.FaultPlan {
 	for _, pa := range f.Pauses {
 		p.Pauses = append(p.Pauses, abcl.NodePause{
 			Node: pa.Node, At: sim.Time(pa.At), For: sim.Time(pa.For),
+		})
+	}
+	for _, c := range f.Crashes {
+		p.Crashes = append(p.Crashes, abcl.NodeCrash{
+			Node: c.Node, At: sim.Time(c.At), RestartAfter: sim.Time(c.RestartAfter),
 		})
 	}
 	return p
@@ -93,6 +108,12 @@ type Assert struct {
 	// MaxSlowdown bounds faulted elapsed time as a multiple of the
 	// baseline's (0 = unchecked).
 	MaxSlowdown float64 `json:"max_slowdown,omitempty"`
+	// MinRestarts requires at least this many crash restarts (proof the
+	// declared crashes fired before the workload finished).
+	MinRestarts uint64 `json:"min_restarts,omitempty"`
+	// MinCkptRounds requires at least this many completed coordinated
+	// checkpoint rounds in the faulted run.
+	MinCkptRounds uint64 `json:"min_ckpt_rounds,omitempty"`
 }
 
 // Spec is one declarative scenario.
@@ -114,6 +135,13 @@ type Spec struct {
 	// acks only exist inside it.
 	BatchWindowNs int64 `json:"batch_window_ns,omitempty"`
 	AckDelayNs    int64 `json:"ack_delay_ns,omitempty"`
+
+	// CheckpointIntervalNs, when positive, enables periodic coordinated
+	// checkpoints. Like the wire-path options it applies to the baseline
+	// too, so both runs pay the same snapshot cost and the crash-recovery
+	// claim — same answer as a fault-free run of the same configuration —
+	// is exactly what the answer check verifies.
+	CheckpointIntervalNs int64 `json:"checkpoint_interval_ns,omitempty"`
 
 	Faults Faults `json:"faults"`
 	Assert Assert `json:"assert"`
@@ -184,8 +212,15 @@ func (o *Outcome) check() {
 	if o.Faulted.Answer != o.Baseline.Answer {
 		fail("answer diverged under faults: %s != %s (baseline)", o.Faulted.Answer, o.Baseline.Answer)
 	}
-	if lost := c.LostMessages(); lost != 0 {
-		fail("%d messages lost", lost)
+	// The sent/delivered ledger is only meaningful without crashes: counters
+	// are monotonic across a rollback, so a send the restore truncated (sent
+	// once, re-sent and delivered once after the rollback) leaves the ledger
+	// permanently off by one. Under crashes the delivery guarantee is carried
+	// by the answer check plus the abandoned count instead.
+	if len(sp.Faults.Crashes) == 0 {
+		if lost := c.LostMessages(); lost != 0 {
+			fail("%d messages lost", lost)
+		}
 	}
 	if c.RelAbandoned != 0 {
 		fail("%d messages abandoned after max retries", c.RelAbandoned)
@@ -208,6 +243,17 @@ func (o *Outcome) check() {
 			fail("slowdown %.2fx exceeds limit %.2fx", slow, m)
 		}
 	}
+	if c.NodeRestarts < sp.Assert.MinRestarts {
+		fail("node restarts = %d, want >= %d", c.NodeRestarts, sp.Assert.MinRestarts)
+	}
+	if c.CkptRounds < sp.Assert.MinCkptRounds {
+		fail("checkpoint rounds = %d, want >= %d", c.CkptRounds, sp.Assert.MinCkptRounds)
+	}
+	// Every declared crash must have restarted by quiescence — a crash whose
+	// outage outlives the workload would silently weaken the recovery claim.
+	if want := uint64(len(sp.Faults.Crashes)); c.NodeRestarts < want {
+		fail("node restarts = %d, want %d (one per declared crash)", c.NodeRestarts, want)
+	}
 }
 
 // runWorkload executes the spec's workload once under the given plan.
@@ -218,6 +264,7 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 	}
 	batch := sim.Time(sp.BatchWindowNs)
 	ackDelay := sim.Time(sp.AckDelayNs)
+	ckpt := sim.Time(sp.CheckpointIntervalNs)
 	switch sp.Workload {
 	case "nqueens":
 		n := sp.N
@@ -228,6 +275,7 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 			N: n, Nodes: sp.Nodes, Seed: seed, Faults: plan,
 			Placement:   abcl.PlaceRoundRobin, // deterministic across runs
 			BatchWindow: batch, AckDelay: ackDelay, Reliable: ackDelay > 0,
+			CheckpointInterval: ckpt,
 		})
 		if err != nil {
 			return RunResult{}, err
@@ -248,6 +296,9 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 		}
 		if ackDelay > 0 {
 			opts = append(opts, abcl.WithReliable(), abcl.WithDelayedAcks(ackDelay))
+		}
+		if ckpt > 0 {
+			opts = append(opts, abcl.WithCheckpoint(ckpt))
 		}
 		sys, err := abcl.NewSystem(opts...)
 		if err != nil {
@@ -275,6 +326,7 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 			W: grid, H: grid, Iters: iters, Nodes: sp.Nodes,
 			BlockPlace: true, Seed: seed, Faults: plan,
 			BatchWindow: batch, AckDelay: ackDelay, Reliable: ackDelay > 0,
+			CheckpointInterval: ckpt,
 		})
 		if err != nil {
 			return RunResult{}, err
@@ -310,6 +362,10 @@ func (o Outcome) Report() string {
 	s += fmt.Sprintf("  drops=%d dups=%d pauses=%d retransmits=%d dup-suppressed=%d held=%d lost=%d\n",
 		c.LinkDrops, c.LinkDups, c.NodePauses,
 		c.Retransmits, c.DupSuppressed, c.HeldOutOfOrder, c.LostMessages())
+	if c.CkptRounds > 0 || c.NodeCrashes > 0 {
+		s += fmt.Sprintf("  checkpoint: rounds=%d stable-bytes=%d crashes=%d restarts=%d replayed=%d\n",
+			c.CkptRounds, c.CkptBytes, c.NodeCrashes, c.NodeRestarts, c.ReplayedMsgs)
+	}
 	if o.OK() {
 		s += "  PASS\n"
 	} else {

@@ -269,6 +269,19 @@ func (e *Engine) Pending() int {
 	return n
 }
 
+// LivePending is Pending minus stopped-timer slots still occupying heap
+// entries: the number of events that will actually do work. A periodic
+// activity that should end with the simulation (e.g. checkpoint ticks) keys
+// off this — dead retry-timer slots linger for their original deadline and
+// would otherwise read as pending work.
+func (e *Engine) LivePending() int {
+	n := 0
+	for i := range e.lanes {
+		n += len(e.lanes[i].heap) - e.lanes[i].dead
+	}
+	return n
+}
+
 // SetEventLimit installs a safety limit: Run returns an error after firing
 // n events. Zero disables the limit.
 func (e *Engine) SetEventLimit(n uint64) { e.limit = n }

@@ -62,6 +62,14 @@ type Counters struct {
 	LocCacheMisses      uint64 // stale-address deliveries that triggered a location update
 	LocCacheInvalidates uint64 // cached addresses overwritten by a newer location
 
+	// Checkpointing and crash recovery.
+	CkptSaves    uint64 // node snapshots written to simulated stable store
+	CkptBytes    uint64 // stable-store bytes across those snapshots
+	CkptRounds   uint64 // coordinated snapshot rounds completed (coordinator)
+	NodeCrashes  uint64 // crash faults that hit this node
+	NodeRestarts uint64 // restarts completed from a checkpoint
+	ReplayedMsgs uint64 // retained in-flight messages re-sent after a restore
+
 	// Scheduling.
 	SchedEnqueues uint64
 	SchedDequeues uint64
@@ -105,6 +113,12 @@ func (c *Counters) Add(o *Counters) {
 	c.LocCacheHits += o.LocCacheHits
 	c.LocCacheMisses += o.LocCacheMisses
 	c.LocCacheInvalidates += o.LocCacheInvalidates
+	c.CkptSaves += o.CkptSaves
+	c.CkptBytes += o.CkptBytes
+	c.CkptRounds += o.CkptRounds
+	c.NodeCrashes += o.NodeCrashes
+	c.NodeRestarts += o.NodeRestarts
+	c.ReplayedMsgs += o.ReplayedMsgs
 	c.SchedEnqueues += o.SchedEnqueues
 	c.SchedDequeues += o.SchedDequeues
 	c.Preemptions += o.Preemptions

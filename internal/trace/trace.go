@@ -37,6 +37,11 @@ const (
 	EvBatch       // a multi-message hardware packet was flushed onto a link
 	EvAckCoalesce // a cumulative ack replaced several per-packet acks
 	EvLocUpdate   // a remote-location cache update was sent or applied
+	// Checkpoint and crash-recovery events.
+	EvCkptSave  // a node wrote its snapshot to simulated stable store
+	EvCkptRound // the coordinator completed a snapshot round
+	EvCrash     // a node crash fault hit
+	EvRestore   // a global restore rolled the machine back to a checkpoint
 )
 
 var kindNames = [...]string{
@@ -60,6 +65,10 @@ var kindNames = [...]string{
 	EvBatch:       "batch",
 	EvAckCoalesce: "ack-coalesce",
 	EvLocUpdate:   "loc-update",
+	EvCkptSave:    "ckpt-save",
+	EvCkptRound:   "ckpt-round",
+	EvCrash:       "crash",
+	EvRestore:     "restore",
 }
 
 func (k Kind) String() string {
