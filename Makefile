@@ -1,15 +1,16 @@
 # Convenience targets for the ABCL/onAP1000 reproduction.
 #
-#   make tier1           build + full test suite + bench smoke + perf gate (the acceptance gate)
+#   make tier1           build + full test suite + bench smoke + perf gate + profile smoke
 #   make vet-race        go vet + race-detector pass over the parallel core
 #   make scenario-smoke  run every bundled fault scenario end to end
+#   make profile-smoke   run nqueens with -profile/-metrics, validate the JSONL schema
 #   make check           all of the above
 #   make bench-baseline  run the perf suite, save BENCH_<date>.json
 #   make bench-compare   run the perf suite, diff against BASELINE json
 #   make bench-gate      fail if the gated benchmarks regress >GATE_PCT% vs BASELINE
 #   make cover           per-package test coverage summary
 
-.PHONY: all tier1 vet-race scenario-smoke check cover bench-baseline bench-compare bench-gate
+.PHONY: all tier1 vet-race scenario-smoke profile-smoke check cover bench-baseline bench-compare bench-gate
 
 all: tier1
 
@@ -18,6 +19,7 @@ tier1:
 	go test ./...
 	go test -run xxx -bench . -benchtime 1x .
 	$(MAKE) bench-gate
+	$(MAKE) profile-smoke
 
 vet-race:
 	go vet ./...
@@ -27,6 +29,15 @@ vet-race:
 scenario-smoke:
 	go run ./cmd/abclsim -workload scenario -scenario all
 
+# End-to-end check of the observability exporters: run a profiled workload,
+# then validate the JSONL stream against the documented schema and the
+# metrics summary against the stream (the two sinks must agree exactly).
+SMOKE_DIR := $(if $(TMPDIR),$(TMPDIR),/tmp)
+profile-smoke:
+	go run ./cmd/abclsim -workload nqueens -n 8 -nodes 8 \
+		-profile $(SMOKE_DIR)/abcl-profile-smoke.jsonl -metrics $(SMOKE_DIR)/abcl-profile-smoke.json >/dev/null
+	go run ./cmd/profcheck -nodes 8 -metrics $(SMOKE_DIR)/abcl-profile-smoke.json $(SMOKE_DIR)/abcl-profile-smoke.jsonl
+
 check: tier1 vet-race scenario-smoke
 
 cover:
@@ -35,20 +46,27 @@ cover:
 # Performance tracking. bench-baseline records the suite into a dated JSON
 # report; bench-compare records a fresh report and prints a side-by-side
 # diff against BASELINE (default: the newest BENCH_*.json in the repo).
-BENCH_PATTERN ?= BenchmarkTable1_IntraNodeDormant|BenchmarkTable4_NQueensScale|BenchmarkFigure5_Speedup|BenchmarkSimulatorThroughput|BenchmarkForkJoin|BenchmarkTable_AllToAll
+BENCH_PATTERN ?= BenchmarkTable1_IntraNodeDormant|BenchmarkTable4_NQueensScale|BenchmarkFigure5_Speedup|BenchmarkSimulatorThroughput|BenchmarkForkJoin|BenchmarkTable_AllToAll|BenchmarkProfilerOffOverhead
 BENCH_TIME ?= 20x
 BENCH_DATE := $(shell date +%Y-%m-%d)
 BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
 # The perf gate: the headline Figure-5 configuration must stay within
 # GATE_PCT percent of the checked-in baseline on both simulator speed
-# (ns/op) and allocation count (allocs/op).
-GATE_BENCH ?= Figure5_Speedup/N10_P256
+# (ns/op) and allocation count (allocs/op). The profiler-disabled engine
+# is gated separately ("name:nsPct:allocsPct"): the cost-attribution
+# hooks are one nil check per charge when off, so its allocation count
+# must hold to 2% (it is exactly reproducible run to run — any off-path
+# allocation creep fails here), while its wall clock gets the same 10%
+# headroom as everything else because host timing noise on shared
+# machines exceeds the 2% target (the measured off-overhead itself is
+# recorded in EXPERIMENTS.md).
+GATE_BENCH ?= Figure5_Speedup/N10_P256,ProfilerOffOverhead:10:2
 GATE_PCT ?= 10
 
 bench-gate:
 	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline found; run make bench-baseline first" >&2; exit 1; }
-	go test -run xxx -bench 'BenchmarkFigure5_Speedup$$/N10_P256$$' -benchmem -benchtime $(BENCH_TIME) . \
+	go test -run xxx -bench 'BenchmarkFigure5_Speedup$$/N10_P256$$|BenchmarkProfilerOffOverhead$$' -benchmem -benchtime $(BENCH_TIME) . \
 		| go run ./cmd/benchjson -compare $(BASELINE) -gate '$(GATE_BENCH)' -gate-pct $(GATE_PCT)
 
 bench-baseline:

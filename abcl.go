@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/profile"
 	"repro/internal/remote"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -85,6 +86,22 @@ type (
 	// stable-store image (System.RegisterSnapshotter). Classes without one
 	// use the default plain-copy codec.
 	Snapshotter = checkpoint.Snapshotter
+	// Sink observes runtime events (WithObserver). See the trace package for
+	// the full contract: sinks are called synchronously from the simulation's
+	// single deterministic event order and must not retain the Event.
+	Sink = trace.Sink
+	// Event is one observed runtime event.
+	Event = trace.Event
+	// ProfileReport is the cost-attribution report (System.Report().Profile):
+	// per-path instruction/packet/stable-store totals, the dormant fraction,
+	// and optional per-class and time-series breakdowns.
+	ProfileReport = profile.Report
+	// PathStat is one row of the profiler's per-path cost table.
+	PathStat = profile.PathStat
+	// ClassStat is one row of the profiler's per-class table.
+	ClassStat = profile.ClassStat
+	// ProfileSlice is one time-series bucket of a windowed profile.
+	ProfileSlice = profile.Slice
 )
 
 // Wildcard matches any node in a LinkFault's Src or Dst.
@@ -181,6 +198,8 @@ type settings struct {
 	loadHorizon Time
 	noLocCache  bool
 	ckptEvery   Time // periodic checkpoint interval; 0 = off
+	observer    trace.Sink
+	prof        *ProfileOptions
 }
 
 // Option configures a System under construction. Options are applied in
@@ -247,12 +266,65 @@ func WithSeed(seed int64) Option {
 
 // WithTrace enables runtime event tracing into a ring buffer of capacity
 // events, available as System.Trace.
+//
+// Deprecated: use WithObserver(trace.NewRing(capacity)) — the ring buffer is
+// now one Sink among several. WithTrace remains as a shorthand that also
+// populates the System.Trace field.
 func WithTrace(capacity int) Option {
 	return func(s *settings) error {
 		if capacity <= 0 {
 			return fmt.Errorf("abcl: WithTrace(%d): capacity must be positive", capacity)
 		}
 		s.traceCap = capacity
+		return nil
+	}
+}
+
+// WithObserver attaches a trace sink to the runtime: every scheduler, wire,
+// reliable-protocol and checkpoint event is delivered to it synchronously, in
+// the simulation's single deterministic event order. Multiple observers (or
+// an observer plus WithTrace) compose via trace.Tee. Sinks must not retain
+// the Event or any memory reachable from it beyond the call; see the trace
+// package for the full contract. Incompatible with WithParallelSim: parallel
+// windows have no single global interleaving to observe.
+func WithObserver(sink trace.Sink) Option {
+	return func(s *settings) error {
+		if sink == nil {
+			return fmt.Errorf("abcl: WithObserver(nil): sink must be non-nil")
+		}
+		if s.observer != nil {
+			s.observer = trace.Tee(s.observer, sink)
+		} else {
+			s.observer = sink
+		}
+		return nil
+	}
+}
+
+// ProfileOptions configures the cost-attribution profiler (WithProfiler).
+type ProfileOptions struct {
+	// Window, when positive, additionally slices the profile into time-series
+	// buckets of this width (instructions, events, packets, queue depths and
+	// utilization per bucket). Zero keeps per-path totals only.
+	Window Time
+	// Classes enables per-class attribution: deliveries by receiver mode and
+	// method-body instructions, keyed by the receiving object's class.
+	Classes bool
+}
+
+// WithProfiler enables the cost-attribution profiler: every simulated
+// instruction, wire record and stable-store byte is charged to a message
+// path (local-dormant, local-active, restore, now-blocked, remote-send,
+// remote-recv, create, forward, sched, body, ckpt, retransmit, ack — the
+// paper's Section 6 taxonomy plus the subsystems added since). The report is
+// available as System.Report().Profile after a run. The profiler only
+// observes — enabling it changes no virtual-time results.
+func WithProfiler(opt ProfileOptions) Option {
+	return func(s *settings) error {
+		if opt.Window < 0 {
+			return fmt.Errorf("abcl: WithProfiler: window must be non-negative, got %v", opt.Window)
+		}
+		s.prof = &opt
 		return nil
 	}
 }
@@ -421,6 +493,7 @@ type System struct {
 	seed        int64
 	faults      FaultPlan
 	parWorkers  int
+	prof        *profile.Profiler   // nil unless WithProfiler
 	ckpt        *checkpoint.Manager // nil unless checkpointing is active
 	ckptStarted bool
 }
@@ -460,12 +533,29 @@ func NewSystem(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("abcl: %w", err)
 	}
+	// Resolve the observer sink. A nil *trace.Ring must never be stored into
+	// the Sink interface fields below — the typed-nil interface value would
+	// defeat the engine's `sink != nil` fast path.
 	var ring *trace.Ring
+	sink := s.observer
 	if s.traceCap > 0 {
-		if s.parWorkers > 1 {
-			return nil, fmt.Errorf("abcl: WithTrace and WithParallelSim are incompatible: the trace ring records a single global event interleaving")
-		}
 		ring = trace.NewRing(s.traceCap)
+		if sink != nil {
+			sink = trace.Tee(ring, sink)
+		} else {
+			sink = ring
+		}
+	}
+	if sink != nil && s.parWorkers > 1 {
+		return nil, fmt.Errorf("abcl: WithTrace/WithObserver and WithParallelSim are incompatible: observers see a single global event interleaving")
+	}
+	var prof *profile.Profiler
+	if s.prof != nil {
+		prof = profile.New(s.nodes, profile.Options{
+			Window:  s.prof.Window,
+			Classes: s.prof.Classes,
+			InstrNs: mcfg.NsPerInstr(),
+		})
 	}
 	// Checkpointing is active when asked for explicitly or implied by a
 	// crash plan (recovery needs at least the baseline checkpoint). It
@@ -489,7 +579,8 @@ func NewSystem(opts ...Option) (*System, error) {
 	rt := core.NewRuntime(m, core.Options{
 		Policy:        s.policy,
 		MaxStackDepth: s.maxStack,
-		Trace:         ring,
+		Trace:         sink,
+		Prof:          prof,
 	})
 	if ckptOn {
 		// Object tracking must be on before anything — bootstrap objects,
@@ -501,21 +592,27 @@ func NewSystem(opts ...Option) (*System, error) {
 		Placement:       s.placement,
 		Seed:            s.seed,
 		Reliable:        reliable,
-		Trace:           ring,
+		Trace:           sink,
+		Prof:            prof,
 		BatchWindow:     s.batchWindow,
 		BatchMaxBytes:   s.batchBytes,
 		AckDelay:        s.ackDelay,
 		LoadHorizon:     s.loadHorizon,
 		NoLocationCache: s.noLocCache,
 	})
-	sys := &System{M: m, RT: rt, Net: net, Trace: ring, seed: s.seed, faults: s.faults, parWorkers: s.parWorkers}
+	sys := &System{M: m, RT: rt, Net: net, Trace: ring, prof: prof, seed: s.seed, faults: s.faults, parWorkers: s.parWorkers}
 	if ckptOn {
 		// Retention must cover every reliable send, including host-time ones
 		// (e.g. a Migrate before the first Run), so it starts here rather
 		// than at the manager's Start.
 		net.EnableCheckpoint()
 		sys.ckpt = checkpoint.New(rt, net, s.ckptEvery, nil)
-		sys.ckpt.SetTrace(ring)
+		if sink != nil {
+			sys.ckpt.SetTrace(sink)
+		}
+		if prof != nil {
+			sys.ckpt.SetProfiler(prof)
+		}
 	}
 	return sys, nil
 }
@@ -532,6 +629,11 @@ func MustNewSystem(opts ...Option) *System {
 // Config is the legacy struct configuration, kept for callers predating the
 // option form. The zero value of every field selects the AP1000-flavoured
 // default.
+//
+// Deprecated: use NewSystem with Options. Existing Config values convert
+// losslessly via Config.Options — `NewSystem(cfg.Options()...)` — which is
+// the only supported construction path from a Config; features added since
+// (WithObserver, WithProfiler, ...) have no Config field.
 type Config struct {
 	// Nodes is the processor count (default 1).
 	Nodes int
@@ -634,13 +736,17 @@ func (cfg Config) Options() []Option {
 	return opts
 }
 
-// NewSystemConfig builds a System from the legacy Config struct. New code
-// should use NewSystem with options.
+// NewSystemConfig builds a System from the legacy Config struct.
+//
+// Deprecated: use NewSystem(cfg.Options()...). No internal package or
+// command may use this entry point (enforced by TestNoLegacyConstruction).
 func NewSystemConfig(cfg Config) (*System, error) {
 	return NewSystem(cfg.Options()...)
 }
 
 // MustNewSystemConfig is NewSystemConfig for known-good configurations.
+//
+// Deprecated: use MustNewSystem(cfg.Options()...).
 func MustNewSystemConfig(cfg Config) *System {
 	s, err := NewSystemConfig(cfg)
 	if err != nil {
@@ -762,42 +868,165 @@ func (s *System) Seed() int64 { return s.seed }
 // fault-free interconnect.
 func (s *System) Faults() FaultPlan { return s.faults }
 
+// Report is the grouped introspection snapshot of a System, replacing the
+// flat accessor zoo. Take one after Run (or between Runs); it is a copy and
+// does not track subsequent execution.
+type Report struct {
+	Sched    SchedReport
+	Wire     WireReport
+	Reliable ReliableReport
+	Ckpt     CkptReport
+	// Profile is the cost-attribution report; nil unless WithProfiler.
+	Profile *ProfileReport
+}
+
+// SchedReport covers the intra-node runtime: virtual time, utilization and
+// the aggregated scheduling counters.
+type SchedReport struct {
+	// Nodes is the processor count.
+	Nodes int
+	// Elapsed is the parallel makespan: the largest node clock.
+	Elapsed Time
+	// Utilization is busy time over (makespan x nodes).
+	Utilization float64
+	// TotalInstructions is the instruction count summed over nodes.
+	TotalInstructions uint64
+	// Counters aggregates the runtime event counters over all nodes.
+	Counters Counters
+}
+
+// WireReport covers the interconnect: packet/message/byte totals and the
+// wire-path optimisations in effect.
+type WireReport struct {
+	// Packets is the count of physical packet launches; with batching one
+	// packet may carry several logical messages.
+	Packets uint64
+	// LogicalMsgs is the count of logical messages launched onto the wire.
+	// The ratio LogicalMsgs/Packets is the mean aggregation factor.
+	LogicalMsgs uint64
+	// Bytes is the total payload transmitted.
+	Bytes uint64
+	// BatchWindow and BatchMaxBytes echo the WithBatching configuration
+	// (zeroes when batching is off).
+	BatchWindow   Time
+	BatchMaxBytes int
+	// LocationCache reports whether the post-migration location cache is on.
+	LocationCache bool
+}
+
+// ReliableReport covers the acknowledgment/retry delivery protocol.
+type ReliableReport struct {
+	// Enabled reports whether the ack/retry protocol is active.
+	Enabled bool
+	// AckDelay is the delayed-ack interval (zero when acks are immediate).
+	AckDelay Time
+}
+
+// CkptReport covers the coordinated checkpoint subsystem.
+type CkptReport struct {
+	// Enabled reports whether checkpointing is active.
+	Enabled bool
+	// Rounds is the number of completed checkpoint rounds (including the
+	// baseline).
+	Rounds int
+}
+
+// Report assembles the grouped introspection snapshot: scheduling, wire,
+// reliable-protocol and checkpoint sections, plus the cost-attribution
+// profile when WithProfiler was given.
+func (s *System) Report() Report {
+	bw, bb := s.Net.Batching()
+	r := Report{
+		Sched: SchedReport{
+			Nodes:             s.M.Nodes(),
+			Elapsed:           s.M.MaxClock(),
+			Utilization:       s.M.Utilization(),
+			TotalInstructions: s.M.TotalInstr(),
+			Counters:          s.RT.TotalStats(),
+		},
+		Wire: WireReport{
+			Packets:       s.M.TotalPackets(),
+			LogicalMsgs:   s.M.TotalMsgs(),
+			Bytes:         s.M.TotalBytes(),
+			BatchWindow:   bw,
+			BatchMaxBytes: bb,
+			LocationCache: s.Net.LocationCache(),
+		},
+		Reliable: ReliableReport{
+			Enabled:  s.Net.Reliable(),
+			AckDelay: s.Net.AckDelay(),
+		},
+		Ckpt: CkptReport{
+			Enabled: s.ckpt != nil,
+		},
+	}
+	if s.ckpt != nil {
+		r.Ckpt.Rounds = s.ckpt.Rounds()
+	}
+	if s.prof != nil {
+		r.Profile = s.prof.Report()
+	}
+	return r
+}
+
 // Reliable reports whether the ack/retry delivery protocol is active.
+//
+// Deprecated: use Report().Reliable.Enabled.
 func (s *System) Reliable() bool { return s.Net.Reliable() }
 
 // Elapsed returns the parallel makespan: the largest node clock.
+//
+// Deprecated: use Report().Sched.Elapsed.
 func (s *System) Elapsed() Time { return s.M.MaxClock() }
 
 // Utilization returns busy time over (makespan x nodes).
+//
+// Deprecated: use Report().Sched.Utilization.
 func (s *System) Utilization() float64 { return s.M.Utilization() }
 
 // Stats aggregates runtime counters over all nodes.
+//
+// Deprecated: use Report().Sched.Counters.
 func (s *System) Stats() Counters { return s.RT.TotalStats() }
 
 // TotalInstructions returns the instruction count summed over nodes.
+//
+// Deprecated: use Report().Sched.TotalInstructions.
 func (s *System) TotalInstructions() uint64 { return s.M.TotalInstr() }
 
 // Packets returns the total inter-node packet count (physical launches;
 // with batching one packet may carry several logical messages).
+//
+// Deprecated: use Report().Wire.Packets.
 func (s *System) Packets() uint64 { return s.M.TotalPackets() }
 
 // LogicalMsgs returns the total count of logical messages launched onto the
 // wire. Without batching it equals Packets; with batching it exceeds it, and
 // the ratio is the mean aggregation factor.
+//
+// Deprecated: use Report().Wire.LogicalMsgs.
 func (s *System) LogicalMsgs() uint64 { return s.M.TotalMsgs() }
 
 // BatchWindow returns the configured batching window and byte budget
 // (zeroes when batching is off).
+//
+// Deprecated: use Report().Wire.BatchWindow and Report().Wire.BatchMaxBytes.
 func (s *System) BatchWindow() (Time, int) { return s.Net.Batching() }
 
 // AckDelay returns the delayed-ack interval (zero when acks are immediate).
+//
+// Deprecated: use Report().Reliable.AckDelay.
 func (s *System) AckDelay() Time { return s.Net.AckDelay() }
 
 // LocationCache reports whether the post-migration location cache is on.
+//
+// Deprecated: use Report().Wire.LocationCache.
 func (s *System) LocationCache() bool { return s.Net.LocationCache() }
 
 // CheckpointRounds returns the number of completed checkpoint rounds
 // (including the baseline), or zero when checkpointing is off.
+//
+// Deprecated: use Report().Ckpt.Rounds.
 func (s *System) CheckpointRounds() int {
 	if s.ckpt == nil {
 		return 0

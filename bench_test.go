@@ -505,3 +505,23 @@ func BenchmarkMigrationForwarding(b *testing.B) {
 		}
 	}
 }
+
+// --- Observability: profiler-off overhead ---------------------------------
+
+// BenchmarkProfilerOffOverhead runs the engine with the cost-attribution
+// profiler compiled in but disabled — the product's default path. Its ns/op
+// is gated tightly (Makefile GATE_BENCH, 2%) against the checked-in
+// baseline, pinning the claim that the disabled profiler costs one nil
+// check per charge. The on/off virtual-time equality is asserted separately
+// by TestProfilerEquivalence.
+func BenchmarkProfilerOffOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := nqueens.Run(nqueens.Options{N: 10, Nodes: 64, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Profile != nil {
+			b.Fatal("profiler unexpectedly enabled")
+		}
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"repro/internal/apps/pingpong"
 	"repro/internal/machine"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 )
 
 var (
@@ -88,6 +89,19 @@ var (
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON  = flag.String("bench-json", "", "write a wall-clock benchmark summary (JSON) to this file")
+
+	profileOut = flag.String("profile", "", "stream runtime events as JSON Lines to this file (nqueens and forkjoin workloads)")
+	metricsOut = flag.String("metrics", "", "write an event-count metrics summary (JSON) to this file (nqueens and forkjoin workloads)")
+	costTable  = flag.Bool("cost-table", false, "enable the cost-attribution profiler and print the per-path cost table")
+	profWindow timeFlag // -profile-window: time-series slice width for the profiler
+)
+
+// Observer sinks resolved from -profile / -metrics, attached by sysOptions
+// and finalized (flushed, summarised) by closeObservers after the run.
+var (
+	profileSink *trace.JSONL
+	profileFile *os.File
+	metricsSink *trace.Metrics
 )
 
 func init() {
@@ -95,6 +109,8 @@ func init() {
 		"coordinated checkpoint cadence, as ns or a Go duration (e.g. 200us); 0 disables periodic checkpoints")
 	flag.Var(&crashes, "crash",
 		"crash fault node@at+restartAfter (ns or Go durations, e.g. 2@1ms+300us); repeatable; implies checkpoint support")
+	flag.Var(&profWindow, "profile-window",
+		"cost-profiler time-series slice width, as ns or a Go duration; implies -cost-table")
 }
 
 // benchEvents/benchMsgs are filled by workloads that expose their engine and
@@ -221,7 +237,84 @@ func sysOptions() []abcl.Option {
 	if ckptInterval > 0 {
 		opts = append(opts, abcl.WithCheckpoint(abcl.Time(ckptInterval)))
 	}
+	if profileSink != nil {
+		opts = append(opts, abcl.WithObserver(profileSink))
+	}
+	if metricsSink != nil {
+		opts = append(opts, abcl.WithObserver(metricsSink))
+	}
+	if *costTable || profWindow > 0 {
+		opts = append(opts, abcl.WithProfiler(abcl.ProfileOptions{
+			Window:  abcl.Time(profWindow),
+			Classes: true,
+		}))
+	}
 	return opts
+}
+
+// openObservers resolves the -profile/-metrics flags into trace sinks before
+// the workload builds its System.
+func openObservers() error {
+	if *profileOut != "" {
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			return err
+		}
+		profileFile = f
+		profileSink = trace.NewJSONL(f)
+	}
+	if *metricsOut != "" {
+		metricsSink = trace.NewMetrics()
+	}
+	return nil
+}
+
+// closeObservers flushes the -profile stream and writes the -metrics summary
+// after the workload finished.
+func closeObservers() error {
+	if profileSink != nil {
+		err := profileSink.Err()
+		if cerr := profileFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("profile stream %s: %w", *profileOut, err)
+		}
+	}
+	if metricsSink != nil {
+		b, err := json.MarshalIndent(metricsSink.Summary(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*metricsOut, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printCostTable emits the profiler's per-path cost table (Section 6 of the
+// paper, measured live) when -cost-table or -profile-window is in effect.
+func printCostTable(rep abcl.Report) {
+	p := rep.Profile
+	if p == nil {
+		return
+	}
+	fmt.Printf("  per-path cost attribution (%d instructions total):\n", p.TotalInstr)
+	fmt.Printf("    %-14s %12s %12s %8s %10s %10s\n", "path", "events", "instr", "share", "instr/ev", "packets")
+	for _, ps := range p.Paths {
+		perEv := ""
+		if ps.Events > 0 {
+			perEv = fmt.Sprintf("%.1f", ps.InstrPerEvent)
+		}
+		fmt.Printf("    %-14s %12d %12d %7.1f%% %10s %10d\n",
+			ps.Path, ps.Events, ps.Instr, 100*ps.InstrShare, perEv, ps.Packets)
+	}
+	fmt.Printf("    dormant fraction of local deliveries: %.0f%%\n", 100*p.DormantFraction)
+	for _, cs := range p.Classes {
+		fmt.Printf("    class %-20s dormant=%d active=%d restore=%d body-instr=%d\n",
+			cs.Class, cs.Dormant, cs.Active, cs.Restore, cs.BodyInstr)
+	}
 }
 
 // commsLine describes the effective wire-path configuration of a built
@@ -244,6 +337,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if err := openObservers(); err != nil {
+		fmt.Fprintln(os.Stderr, "abclsim:", err)
+		os.Exit(1)
+	}
 	start := time.Now()
 	var err error
 	switch *workload {
@@ -263,6 +360,9 @@ func main() {
 	wall := time.Since(start)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
+	}
+	if oerr := closeObservers(); err == nil {
+		err = oerr
 	}
 	if *memprofile != "" {
 		if perr := writeMemProfile(*memprofile); err == nil {
@@ -371,6 +471,7 @@ func runNQueens() error {
 	fmt.Printf("  utilization      %.1f%%\n", 100*res.Utilization)
 	fmt.Printf("  memory model     %.0f KB\n", float64(res.MemoryBytes)/1024)
 	printStats(res.Stats)
+	printCostTable(res.Report)
 	if sys.Trace != nil {
 		fmt.Printf("  last %d trace events:\n", sys.Trace.Len())
 		if err := sys.Trace.Dump(os.Stdout); err != nil {
@@ -425,6 +526,7 @@ func runForkJoin() error {
 	fmt.Printf("fork-join depth=%d on %d nodes: %d leaves (expected %d)\n",
 		*depth, *nodes, leaves, int64(1)<<uint(*depth))
 	fmt.Printf("  %s\n", commsLine(sys))
+	printCostTable(sys.Report())
 	return nil
 }
 

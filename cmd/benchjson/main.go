@@ -6,11 +6,16 @@
 //	go test -bench ... -benchmem . | benchjson -o BENCH_2026-08-05.json
 //	go test -bench ... -benchmem . | benchjson -o BENCH_new.json -compare BENCH_old.json
 //	go test -bench ... -benchmem . | benchjson -compare BENCH_old.json \
-//	    -gate Figure5_Speedup/N10_P256 -gate-pct 10
+//	    -gate Figure5_Speedup/N10_P256,ProfilerOffOverhead:10:2 -gate-pct 10
 //
 // In gate mode the exit status is non-zero when any gated benchmark's
 // ns/op or allocs/op regresses beyond the allowed percentage, or when a
-// gated benchmark is missing from either report.
+// gated benchmark is missing from either report. A gate name may carry its
+// own limits as "Name:pct" (both metrics) or "Name:nsPct:allocsPct"
+// (separate wall-clock and allocation limits), overriding -gate-pct for
+// that benchmark. Separate limits let a deterministic metric be gated
+// tightly (allocs/op is exactly reproducible) while wall-clock keeps the
+// headroom host noise demands.
 package main
 
 import (
@@ -87,7 +92,10 @@ func main() {
 }
 
 // runGate checks the named benchmarks against the baseline and reports true
-// when every gated metric stays within the allowed regression.
+// when every gated metric stays within the allowed regression. A name may
+// carry its own limits as "Name:pct" (e.g. "ProfilerOffOverhead:2", both
+// metrics) or "Name:nsPct:allocsPct" (e.g. "ProfilerOffOverhead:10:2"),
+// overriding the global -gate-pct for that benchmark.
 func runGate(base, cur *Report, names []string, pct float64) bool {
 	index := func(r *Report) map[string]Bench {
 		m := make(map[string]Bench, len(r.Benchmarks))
@@ -98,8 +106,28 @@ func runGate(base, cur *Report, names []string, pct float64) bool {
 	}
 	baseBy, curBy := index(base), index(cur)
 	ok := true
-	for _, name := range names {
-		name = strings.TrimSpace(name)
+	for _, spec := range names {
+		parts := strings.Split(strings.TrimSpace(spec), ":")
+		name := parts[0]
+		nsLimit, allocLimit := pct, pct
+		badLimit := len(parts) > 3
+		for i, v := range parts[1:] {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				badLimit = true
+				break
+			}
+			if i == 0 {
+				nsLimit, allocLimit = f, f
+			} else {
+				allocLimit = f
+			}
+		}
+		if badLimit {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s: bad per-name limit in %q\n", name, spec)
+			ok = false
+			continue
+		}
 		old, inBase := baseBy[name]
 		b, inCur := curBy[name]
 		if !inBase || !inCur {
@@ -108,21 +136,21 @@ func runGate(base, cur *Report, names []string, pct float64) bool {
 			ok = false
 			continue
 		}
-		check := func(metric string, oldV, newV float64) {
+		check := func(metric string, oldV, newV, limit float64) {
 			if oldV <= 0 {
 				return
 			}
 			d := (newV - oldV) / oldV * 100
 			status := "ok"
-			if d > pct {
+			if d > limit {
 				status = "FAIL"
 				ok = false
 			}
 			fmt.Printf("gate %-40s %-10s %14.0f -> %14.0f  %+6.1f%%  (limit +%.0f%%)  %s\n",
-				name, metric, oldV, newV, d, pct, status)
+				name, metric, oldV, newV, d, limit, status)
 		}
-		check("ns/op", old.NsPerOp, b.NsPerOp)
-		check("allocs/op", old.AllocsOp, b.AllocsOp)
+		check("ns/op", old.NsPerOp, b.NsPerOp, nsLimit)
+		check("allocs/op", old.AllocsOp, b.AllocsOp, allocLimit)
 	}
 	return ok
 }

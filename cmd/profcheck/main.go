@@ -1,0 +1,130 @@
+// Command profcheck validates a JSONL profile stream written by
+// `abclsim -profile` (and optionally the `-metrics` summary from the same
+// run). It backs the Makefile's profile-smoke target: a cheap end-to-end
+// check that the exporter emits the documented schema, not a best-effort
+// variant of it.
+//
+//	abclsim -workload nqueens -n 8 -nodes 8 -profile run.jsonl -metrics run.json
+//	profcheck -nodes 8 -metrics run.json run.jsonl
+//
+// Checks, per line: the line is a JSON object with exactly the documented
+// fields ({"at","node","kind","what"}), `at` is a non-negative integer,
+// `node` is in [0,nodes), `kind` is one of the runtime's defined event
+// kinds, and `what` is a non-empty string. Against the metrics summary:
+// total_events and every per-kind count must equal what the stream holds —
+// the two sinks observed the same run, so they must agree exactly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 0, "node count of the traced run; 0 skips the node-range check")
+	metrics := flag.String("metrics", "", "metrics summary JSON from the same run to cross-check")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: profcheck [-nodes N] [-metrics summary.json] stream.jsonl")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	kinds := make(map[string]bool, trace.NumKinds)
+	for k := 0; k < trace.NumKinds; k++ {
+		kinds[trace.Kind(k).String()] = true
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var total uint64
+	byKind := make(map[string]uint64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		// Decode into raw JSON first so unknown or missing fields and
+		// wrong types fail loudly instead of defaulting silently.
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(sc.Bytes(), &raw); err != nil {
+			fatalf("%s:%d: not a JSON object: %v", path, line, err)
+		}
+		for _, field := range []string{"at", "node", "kind", "what"} {
+			if _, ok := raw[field]; !ok {
+				fatalf("%s:%d: missing field %q", path, line, field)
+			}
+		}
+		if len(raw) != 4 {
+			fatalf("%s:%d: undocumented extra fields in %s", path, line, sc.Text())
+		}
+		var at int64
+		if err := json.Unmarshal(raw["at"], &at); err != nil || at < 0 {
+			fatalf("%s:%d: bad at %s", path, line, raw["at"])
+		}
+		var node int
+		if err := json.Unmarshal(raw["node"], &node); err != nil || node < 0 || (*nodes > 0 && node >= *nodes) {
+			fatalf("%s:%d: bad node %s (run had %d nodes)", path, line, raw["node"], *nodes)
+		}
+		var kind, what string
+		if err := json.Unmarshal(raw["kind"], &kind); err != nil || !kinds[kind] {
+			fatalf("%s:%d: unknown kind %s", path, line, raw["kind"])
+		}
+		if err := json.Unmarshal(raw["what"], &what); err != nil || what == "" {
+			fatalf("%s:%d: bad what %s", path, line, raw["what"])
+		}
+		total++
+		byKind[kind]++
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if total == 0 {
+		fatalf("%s: empty stream", path)
+	}
+
+	if *metrics != "" {
+		buf, err := os.ReadFile(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		var sum trace.MetricsSummary
+		if err := json.Unmarshal(buf, &sum); err != nil {
+			fatalf("%s: %v", *metrics, err)
+		}
+		if sum.Total != total {
+			fatalf("%s: total_events=%d, stream has %d lines", *metrics, sum.Total, total)
+		}
+		for kind, n := range sum.ByKind {
+			if byKind[kind] != n {
+				fatalf("%s: by_kind[%s]=%d, stream has %d", *metrics, kind, n, byKind[kind])
+			}
+		}
+		for kind, n := range byKind {
+			if _, ok := sum.ByKind[kind]; !ok {
+				fatalf("%s: kind %s (%d events) missing from by_kind", *metrics, kind, n)
+			}
+		}
+	}
+
+	fmt.Printf("profcheck: %s ok (%d events, %d kinds)\n", path, total, len(byKind))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profcheck:", err)
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "profcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

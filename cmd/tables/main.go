@@ -15,9 +15,11 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 0, "table to print (1-4); 0 prints all")
+	table := flag.Int("table", 0, "table to print (1-5); 0 prints all")
 	big := flag.Bool("big", true, "include the N=13 column of Table 4")
 	iters := flag.Int("iters", 1000, "iterations for latency measurements")
+	pathN := flag.Int("path-n", 10, "N-queens board size for the per-path cost breakdown")
+	pathNodes := flag.Int("path-nodes", 16, "node count for the per-path cost breakdown")
 	flag.Parse()
 
 	switch *table {
@@ -29,6 +31,8 @@ func main() {
 		table3(*iters)
 		fmt.Println()
 		table4(*big)
+		fmt.Println()
+		table5(*pathN, *pathNodes)
 	case 1:
 		table1(*iters)
 	case 2:
@@ -37,6 +41,8 @@ func main() {
 		table3(*iters)
 	case 4:
 		table4(*big)
+	case 5:
+		table5(*pathN, *pathNodes)
 	default:
 		fmt.Fprintf(os.Stderr, "tables: unknown table %d\n", *table)
 		os.Exit(2)
@@ -119,4 +125,27 @@ func table4(big bool) {
 	fmt.Println("Paper's values: N=8: 92 solutions, 2,056 creations, 4,104 messages,")
 	fmt.Println("130KB, 84ms on SS1+; N=13: 73,712 solutions, ~4.67M creations,")
 	fmt.Println("9,349,765 messages, 549,463KB, 461,955ms on SS1+.")
+}
+
+// table5 is the per-path cost breakdown of Section 6, measured live by the
+// cost-attribution profiler on an N-queens run (not in the paper as a
+// table; the paper reports the taxonomy and the ~75% dormant share).
+func table5(n, nodes int) {
+	pc, err := exp.PathBreakdown(n, nodes, 1)
+	check(err)
+	p := pc.Report
+	fmt.Printf("Table 5: Measured per-path costs, N-queens N=%d on %d nodes\n", pc.N, pc.Nodes)
+	fmt.Println("----------------------------------------------------------------------")
+	fmt.Printf("%-14s %12s %12s %8s %10s %10s\n", "Path", "Events", "Instr", "Share", "Instr/Ev", "Packets")
+	for _, ps := range p.Paths {
+		perEv := "-"
+		if ps.Events > 0 {
+			perEv = fmt.Sprintf("%.1f", ps.InstrPerEvent)
+		}
+		fmt.Printf("%-14s %12d %12d %7.1f%% %10s %10d\n",
+			ps.Path, ps.Events, ps.Instr, 100*ps.InstrShare, perEv, ps.Packets)
+	}
+	fmt.Printf("%-14s %12s %12d\n", "total", "", p.TotalInstr)
+	fmt.Printf("Dormant fraction of local deliveries: %.0f%% (paper: ~75%%, Section 6.3)\n",
+		100*p.DormantFraction)
 }

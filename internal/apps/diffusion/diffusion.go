@@ -46,6 +46,9 @@ type Options struct {
 	// CheckpointInterval, when positive, enables periodic coordinated
 	// checkpoints (crashes in Faults restart from the latest one).
 	CheckpointInterval abcl.Time
+
+	// Profile, when non-nil, attaches the cost-attribution profiler.
+	Profile *abcl.ProfileOptions
 }
 
 // Result reports a run.
@@ -54,6 +57,7 @@ type Result struct {
 	Utilization float64
 	Residual    float64 // final max |update| across cells
 	Stats       abcl.Counters
+	Report      abcl.Report // grouped snapshot; Profile section set when Options.Profile was given
 }
 
 // State variable indices for a cell object.
@@ -87,11 +91,16 @@ func Run(opt Options) (Result, error) {
 		work = 40
 	}
 
-	sys, err := abcl.NewSystemConfig(abcl.Config{
+	cfg := abcl.Config{
 		Nodes: opt.Nodes, Policy: opt.Policy, Seed: opt.Seed, Faults: opt.Faults,
 		BatchWindow: opt.BatchWindow, AckDelay: opt.AckDelay, Reliable: opt.Reliable,
 		CheckpointInterval: opt.CheckpointInterval,
-	})
+	}
+	opts := cfg.Options()
+	if opt.Profile != nil {
+		opts = append(opts, abcl.WithProfiler(*opt.Profile))
+	}
+	sys, err := abcl.NewSystem(opts...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -258,11 +267,13 @@ func Run(opt Options) (Result, error) {
 	if finished != len(cells) {
 		return Result{}, fmt.Errorf("diffusion: %d of %d cells finished", finished, len(cells))
 	}
+	rep := sys.Report()
 	return Result{
-		Elapsed:     sys.Elapsed(),
-		Utilization: sys.Utilization(),
+		Elapsed:     rep.Sched.Elapsed,
+		Utilization: rep.Sched.Utilization,
 		Residual:    maxResid,
-		Stats:       sys.Stats(),
+		Stats:       rep.Sched.Counters,
+		Report:      rep,
 	}, nil
 }
 

@@ -64,6 +64,12 @@ type Options struct {
 	// CheckpointInterval, when positive, enables periodic coordinated
 	// checkpoints (crashes in Faults restart from the latest one).
 	CheckpointInterval sim.Time
+
+	// Profile, when non-nil, enables the cost-attribution profiler; the
+	// report lands in Result.Report.Profile.
+	Profile *abcl.ProfileOptions
+	// Observer, when non-nil, receives every runtime event (abcl.WithObserver).
+	Observer abcl.Sink
 }
 
 // Result reports one parallel run.
@@ -78,6 +84,7 @@ type Result struct {
 	MemoryBytes uint64 // modelled heap usage (objects + message frames)
 	Packets     uint64 // hardware packets launched
 	Stats       stats.Counters
+	Report      abcl.Report // grouped snapshot; Profile section set when Options.Profile was given
 }
 
 // Run executes a parallel N-queens search and returns its result.
@@ -92,7 +99,7 @@ func Run(opt Options) (Result, error) {
 	if placement == nil {
 		placement = abcl.PlaceRandom
 	}
-	sys, err := abcl.NewSystemConfig(abcl.Config{
+	cfg := abcl.Config{
 		Nodes:              opt.Nodes,
 		Policy:             opt.Policy,
 		Placement:          placement,
@@ -105,7 +112,15 @@ func Run(opt Options) (Result, error) {
 		Reliable:           opt.Reliable,
 		AckDelay:           opt.AckDelay,
 		CheckpointInterval: opt.CheckpointInterval,
-	})
+	}
+	opts := cfg.Options()
+	if opt.Profile != nil {
+		opts = append(opts, abcl.WithProfiler(*opt.Profile))
+	}
+	if opt.Observer != nil {
+		opts = append(opts, abcl.WithObserver(opt.Observer))
+	}
+	sys, err := abcl.NewSystem(opts...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -283,20 +298,22 @@ func (d *Driver) Result() (Result, error) {
 	if !d.finished {
 		return Result{}, fmt.Errorf("nqueens: N=%d run did not complete (termination detection failed)", d.n)
 	}
-	c := d.sys.Stats()
+	rep := d.sys.Report()
+	c := rep.Sched.Counters
 	objects := c.Creations() - 2 // exclude root and collector
 	messages := c.TotalMessages()
 	return Result{
 		N:           d.n,
-		Nodes:       d.sys.Nodes(),
+		Nodes:       rep.Sched.Nodes,
 		Solutions:   d.solutions,
 		Objects:     objects,
 		Messages:    messages,
 		Elapsed:     d.finishedAt,
-		Utilization: d.sys.Utilization(),
+		Utilization: rep.Sched.Utilization,
 		MemoryBytes: objects*objectBytes + messages*frameBytes,
-		Packets:     d.sys.Packets(),
+		Packets:     rep.Wire.Packets,
 		Stats:       c,
+		Report:      rep,
 	}, nil
 }
 

@@ -47,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/profile"
 	"repro/internal/remote"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -82,7 +83,8 @@ type Manager struct {
 	l        *remote.Layer
 	m        *machine.Machine
 	interval sim.Time
-	tr       *trace.Ring
+	tr       trace.Sink
+	prof     *profile.Profiler
 
 	reg *Registry
 
@@ -115,8 +117,12 @@ func New(rt *core.Runtime, l *remote.Layer, interval sim.Time, reg *Registry) *M
 	return g
 }
 
-// SetTrace attaches a trace ring for checkpoint events.
-func (g *Manager) SetTrace(tr *trace.Ring) { g.tr = tr }
+// SetTrace attaches an event sink for checkpoint events.
+func (g *Manager) SetTrace(tr trace.Sink) { g.tr = tr }
+
+// SetProfiler attaches the cost-attribution profiler; snapshot and restore
+// charges then land on the ckpt path with their stable-store bytes.
+func (g *Manager) SetProfiler(p *profile.Profiler) { g.prof = p }
 
 // Registry returns the manager's codec registry.
 func (g *Manager) Registry() *Registry { return g.reg }
@@ -297,6 +303,12 @@ func (g *Manager) snapNode(i int) {
 	bytes := ci.SizeBytes() + ri.SizeBytes()
 	mn := g.m.Node(i)
 	mn.Charge(g.m.Cfg.Cost.CkptInstr(bytes))
+	if g.prof != nil {
+		np := g.prof.Node(i)
+		np.ChargeInstr(profile.Ckpt, g.m.Cfg.Cost.CkptInstr(bytes), mn.Now())
+		np.CountEvent(profile.Ckpt, mn.Now())
+		np.StableWrite(bytes)
+	}
 	c := &g.rt.NodeRT(i).C
 	c.CkptSaves++
 	c.CkptBytes += uint64(bytes)
@@ -359,6 +371,11 @@ func (g *Manager) restore(at sim.Time, node int) {
 			mn.SyncClock(at)
 			bytes := snap.core[i].SizeBytes() + snap.rel[i].SizeBytes()
 			mn.Charge(g.m.Cfg.Cost.RestoreInstr(bytes))
+			if g.prof != nil {
+				np := g.prof.Node(i)
+				np.ChargeInstr(profile.Ckpt, g.m.Cfg.Cost.RestoreInstr(bytes), mn.Now())
+				np.StableWrite(bytes)
+			}
 			if replayed := g.l.CkptReplayNode(i, snap.rel); replayed > 0 {
 				g.rt.NodeRT(i).C.ReplayedMsgs += uint64(replayed)
 			}
@@ -370,7 +387,12 @@ func (g *Manager) restore(at sim.Time, node int) {
 // tracef records a checkpoint event when tracing is enabled.
 func (g *Manager) tracef(at sim.Time, node int, kind trace.Kind, format string, args ...any) {
 	if g.tr != nil {
-		g.tr.Addf(at, node, kind, format, args...)
+		g.tr.Event(trace.Event{
+			At:   at,
+			Node: node,
+			Kind: kind,
+			What: fmt.Sprintf(format, args...),
+		})
 	}
 }
 

@@ -26,6 +26,7 @@ type Class struct {
 	Init      InitFunc // lazy initializer; may be nil
 
 	rt      *Runtime
+	id      int          // dense class index, assigned by DefineClass
 	methods []MethodFunc // dense, indexed by PatternID after freeze
 	defs    map[PatternID]MethodFunc
 
@@ -159,6 +160,10 @@ func (ic *InitCtx) CtorArg(i int) Value {
 
 // NumCtorArgs returns the constructor argument count.
 func (ic *InitCtx) NumCtorArgs() int { return len(ic.args) }
+
+// ID returns the class's dense index (assigned in definition order); the
+// profiler keys per-class attribution by it.
+func (c *Class) ID() int { return c.id }
 
 // SetState writes state variable i.
 func (ic *InitCtx) SetState(i int, v Value) { ic.obj.state[i] = v }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/profile"
 	"repro/internal/sim"
 )
 
@@ -54,7 +55,14 @@ func (c *Ctx) SetState(i int, v Value) { c.self.state[i] = v }
 // instructions (standard operations, Section 2.2 item 5).
 func (c *Ctx) Charge(instr int) {
 	c.checkLive("Charge")
-	c.rt.charge(instr)
+	n := c.rt
+	prev := n.curPath
+	n.curPath = profile.Body
+	n.charge(instr)
+	n.curPath = prev
+	if n.prof != nil && c.self.class != nil {
+		n.prof.ClassInstr(c.self.class.id, instr)
+	}
 }
 
 // SendPast sends an asynchronous no-wait message ([Target <= Msg]).
@@ -100,14 +108,22 @@ func (c *Ctx) SendNow(to Address, p PatternID, args []Value, k func(*Ctx, Value)
 	c.checkLive("SendNow")
 	c.acted = true
 	n := c.rt
+	prev := n.curPath
+	n.curPath = profile.NowBlocked
 	n.charge(n.cost.ReplyDestAlloc)
+	if n.prof != nil {
+		n.prof.CountEvent(profile.NowBlocked, n.node.Now())
+	}
 	rd := n.newReplyDest()
 	n.Send(to, p, args, rd.Addr())
+	// The nested dispatch above may have overwritten the register.
+	n.curPath = profile.NowBlocked
 	n.charge(n.cost.ReplyCheck)
 	st := rd.rd
 	if st.arrived && !st.consumed {
 		st.consumed = true
 		n.C.NowFastPath++
+		n.curPath = prev
 		k(c, st.value)
 		return
 	}
@@ -118,6 +134,7 @@ func (c *Ctx) SendNow(to Address, p PatternID, args []Value, k func(*Ctx, Value)
 	st.waiterK = k
 	st.waiterF = c.f
 	c.blocked = true
+	n.curPath = prev
 }
 
 // WaitFor is selective message reception: the object waits for the first
@@ -133,9 +150,12 @@ func (c *Ctx) WaitFor(k func(*Ctx, *Frame), pats ...PatternID) {
 		panic("core: WaitFor with empty pattern set")
 	}
 	n := c.rt
+	prev := n.curPath
+	n.curPath = profile.Restore
 	n.charge(n.cost.CheckMsgQueue)
 	if f := c.self.queue.popMatchingPats(pats); f != nil {
 		n.C.WaitFast++
+		n.curPath = prev
 		k(c, f)
 		return
 	}
@@ -146,6 +166,7 @@ func (c *Ctx) WaitFor(k func(*Ctx, *Frame), pats ...PatternID) {
 	c.self.wait = ws
 	c.self.vftp = c.self.class.waitingVFT(pats)
 	c.blocked = true
+	n.curPath = prev
 }
 
 // NewLocal creates an object of class cl on this node (local create,
@@ -154,8 +175,14 @@ func (c *Ctx) NewLocal(cl *Class, ctorArgs ...Value) Address {
 	c.checkLive("NewLocal")
 	c.acted = true
 	n := c.rt
+	prev := n.curPath
+	n.curPath = profile.Create
 	n.charge(n.cost.CreateLocal)
+	if n.prof != nil {
+		n.prof.CountEvent(profile.Create, n.node.Now())
+	}
 	n.C.LocalCreations++
+	n.curPath = prev
 	return n.rt.newObject(cl, n.id, ctorArgs).Addr()
 }
 
@@ -178,6 +205,7 @@ func (c *Ctx) Yield(k func(*Ctx)) {
 	n := c.rt
 	n.C.Preemptions++
 	n.C.HeapFrames++
+	n.curPath = profile.Sched
 	n.charge(n.cost.SaveContext)
 	c.self.resumeK = k
 	c.self.resumeF = c.f
@@ -217,6 +245,7 @@ func (c *Ctx) BlockExternal() { c.block() }
 // blocking remote allocation completes.
 func (n *NodeRT) ResumeSaved(obj *Object, frame *Frame, k func(*Ctx)) {
 	n.C.HeapFrames++
+	n.curPath = profile.Create
 	n.charge(n.cost.SaveContext)
 	obj.resumeK = k
 	obj.resumeF = frame

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/profile"
+
 // SendHint encodes the compile-time send optimizations of Section 6.1: the
 // paper notes the 25-instruction dormant path shrinks to as few as 8
 // instructions ("truly comparable with virtual function call in C++") when
@@ -60,6 +62,7 @@ func (n *NodeRT) sendHinted(to Address, p PatternID, args []Value, replyTo Addre
 	}
 	if to.Node != n.id {
 		n.C.RemoteSends++
+		n.curPath = profile.RemoteSend
 		// Stage the arguments in the node's scratch buffer: the interface
 		// call would otherwise force the caller's argument slice to the
 		// heap. SendMessage copies before returning, so reuse is safe.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -54,8 +55,12 @@ type Options struct {
 	MaxStackDepth int
 	// Trace, when non-nil, receives runtime events (sends, invocations,
 	// blocks, scheduling). Supported on the discrete-event engine only; the
-	// ring is not safe for concurrent nodes.
-	Trace *trace.Ring
+	// bundled sinks are not safe for concurrent nodes.
+	Trace trace.Sink
+	// Prof, when non-nil, receives per-path cost attribution for every
+	// simulated charge. Like Trace it only observes; enabling it changes no
+	// virtual-time results.
+	Prof *profile.Profiler
 }
 
 // Runtime is the ABCL language runtime spanning all nodes of a machine.
@@ -70,6 +75,7 @@ type Runtime struct {
 	maxStackDepth int
 	remote        Remote
 	frozen        bool
+	prof          *profile.Profiler
 
 	// PatReply is the reserved pattern carrying now-type replies.
 	PatReply PatternID
@@ -113,12 +119,20 @@ func NewRuntimeOn(nodes []ExecNode, cost *machine.Cost, opt Options) *Runtime {
 		remote:        defaultRemote{},
 	}
 	r.PatReply = r.Reg.Register("reply:", 1)
+	r.prof = opt.Prof
 	r.nodes = make([]*NodeRT, len(nodes))
 	for i := range r.nodes {
 		r.nodes[i] = &NodeRT{rt: r, id: i, node: nodes[i], cost: cost, tr: opt.Trace}
+		if opt.Prof != nil {
+			r.nodes[i].prof = opt.Prof.Node(i)
+		}
 	}
 	return r
 }
+
+// Profiler returns the attached cost-attribution profiler (nil when
+// profiling is off).
+func (r *Runtime) Profiler() *profile.Profiler { return r.prof }
 
 // DefineClass registers a new class. stateSize is the number of state
 // variables; init (optional) is the lazy initializer run on first message.
@@ -134,6 +148,7 @@ func (r *Runtime) DefineClass(name string, stateSize int, init InitFunc) *Class 
 		StateSize: stateSize,
 		Init:      init,
 		rt:        r,
+		id:        len(r.classes),
 		defs:      make(map[PatternID]MethodFunc),
 	}
 	r.classes = append(r.classes, c)
@@ -168,6 +183,9 @@ func (r *Runtime) Freeze() {
 	npat := r.Reg.Count()
 	for _, c := range r.classes {
 		c.buildTables(npat)
+		if r.prof != nil {
+			r.prof.RegisterClass(c.id, c.Name)
+		}
 	}
 	// Native table for reply destinations: only reply: is understood.
 	r.replyVFT = &VFT{Mode: ModeDormant, entries: make([]entry, npat)}
@@ -249,7 +267,11 @@ func (r *Runtime) newObject(cl *Class, node int, ctorArgs []Value) *Object {
 // does not model creation-protocol costs beyond the local creation charge.
 func (r *Runtime) NewObjectOn(node int, cl *Class, ctorArgs ...Value) Address {
 	n := r.nodes[node]
+	n.curPath = profile.Create
 	n.charge(n.cost.CreateLocal)
+	if n.prof != nil {
+		n.prof.CountEvent(profile.Create, n.node.Now())
+	}
 	n.C.LocalCreations++
 	return r.newObject(cl, node, ctorArgs).Addr()
 }

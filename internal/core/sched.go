@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -36,7 +37,14 @@ type NodeRT struct {
 	schedQ     schedQueue
 	stackDepth int
 	maxDepth   int // high-water mark, for reports
-	tr         *trace.Ring
+	tr         trace.Sink
+
+	// prof is the node's cost-attribution accumulator (nil when profiling is
+	// off); curPath is the attribution register the dispatch boundaries set
+	// and charge reads. The register is written unconditionally — a byte
+	// store is cheaper than guarding it — but only read when prof != nil.
+	prof    *profile.NodeProf
+	curPath profile.Path
 
 	frameFree *Frame // free list of recycled message frames (linked via next)
 	ctxFree   []*Ctx // recycled invocation contexts
@@ -86,10 +94,25 @@ func (n *NodeRT) charge(instr int) {
 	// node is cached so the hot charge path avoids an interface call.
 	if n.mn != nil {
 		n.mn.Charge(instr)
-		return
+	} else {
+		n.node.Charge(instr)
 	}
-	n.node.Charge(instr)
+	if n.prof != nil {
+		n.prof.ChargeInstr(n.curPath, instr, n.node.Now())
+	}
 }
+
+// SetPath sets the node's attribution register and returns the previous
+// value. Sibling runtime packages (remote, checkpoint) bracket their work
+// with it so their charges land on the right path.
+func (n *NodeRT) SetPath(p profile.Path) profile.Path {
+	prev := n.curPath
+	n.curPath = p
+	return prev
+}
+
+// Prof returns the node's profiler accumulator (nil when profiling is off).
+func (n *NodeRT) Prof() *profile.NodeProf { return n.prof }
 
 // NewFrame returns a message frame from the node's free list (or a fresh
 // one), marked for recycling when the invocation it carries completes
@@ -193,7 +216,12 @@ func (n *NodeRT) releaseCtx(c *Ctx) {
 // arguments are only evaluated with tracing on.
 func (n *NodeRT) tracef(kind trace.Kind, format string, args ...any) {
 	if n.tr != nil {
-		n.tr.Addf(n.node.Now(), n.id, kind, format, args...)
+		n.tr.Event(trace.Event{
+			At:   n.node.Now(),
+			Node: n.id,
+			Kind: kind,
+			What: fmt.Sprintf(format, args...),
+		})
 	}
 }
 
@@ -229,12 +257,16 @@ func (n *NodeRT) DeliverFrame(obj *Object, f *Frame, remoteIn bool) {
 		n.naiveDeliver(obj, f, remoteIn)
 		return
 	}
-	n.charge(n.cost.LookupCall)
 	e := obj.vftp.lookup(f.Pattern)
 	if e.fn == nil {
 		panic(n.notUnderstood(obj, f.Pattern))
 	}
+	n.curPath = deliveryPath(e.kind, remoteIn)
+	n.charge(n.cost.LookupCall)
 	n.countDelivery(e.kind, remoteIn)
+	if n.prof != nil {
+		n.profDeliver(obj, e.kind, n.curPath)
+	}
 	if n.tr != nil {
 		n.tracef(trace.EvSend, "%s <- %s (%v mode)", describe(obj), n.rt.Reg.Name(f.Pattern), obj.vftp.Mode)
 	}
@@ -245,12 +277,16 @@ func (n *NodeRT) DeliverFrame(obj *Object, f *Frame, remoteIn bool) {
 // buffered in the receiver's message queue and the receiver is scheduled
 // through the node scheduling queue when it is dispatchable.
 func (n *NodeRT) naiveDeliver(obj *Object, f *Frame, remoteIn bool) {
-	n.charge(n.cost.LookupCall)
 	e := obj.vftp.lookup(f.Pattern)
 	if e.fn == nil {
 		panic(n.notUnderstood(obj, f.Pattern))
 	}
+	n.curPath = deliveryPath(e.kind, remoteIn)
+	n.charge(n.cost.LookupCall)
 	n.countDelivery(e.kind, remoteIn)
+	if n.prof != nil {
+		n.profDeliver(obj, e.kind, n.curPath)
+	}
 	n.charge(n.cost.FrameAlloc + n.cost.StoreMessage + n.cost.EnqueueMsgQ)
 	obj.queue.push(f)
 	if n.frameDispatchable(obj, e.kind) {
@@ -276,6 +312,50 @@ func (n *NodeRT) countDelivery(k EntryKind, remoteIn bool) {
 		// counted by faultEntry
 	case entryNative:
 		// reply deliveries counted by replyEntry
+	}
+}
+
+// deliveryPath maps a dispatch to its attribution path by the receiver's
+// current-table entry kind — i.e. by receiver mode, mirroring countDelivery.
+func deliveryPath(k EntryKind, remoteIn bool) profile.Path {
+	if remoteIn {
+		return profile.RemoteRecv
+	}
+	switch k {
+	case entryBody, entryInit:
+		return profile.LocalDormant
+	case entryQueue:
+		return profile.LocalActive
+	case entryRestore:
+		return profile.Restore
+	case entryNative:
+		return profile.NowBlocked
+	case entryFault:
+		return profile.Create
+	case entryForward:
+		return profile.Forward
+	}
+	return profile.Other
+}
+
+// profDeliver records one delivery in the profiler: an event on the path and,
+// when class attribution is on, a per-class mode count. Reply deliveries
+// (entryNative) are not counted as events — the now-send already counted the
+// round trip — so their instructions fold into the per-now-send cost.
+func (n *NodeRT) profDeliver(obj *Object, k EntryKind, p profile.Path) {
+	if p != profile.NowBlocked {
+		n.prof.CountEvent(p, n.node.Now())
+	}
+	if obj.class == nil {
+		return
+	}
+	switch k {
+	case entryBody, entryInit:
+		n.prof.ClassDeliver(obj.class.id, profile.DeliverDormant)
+	case entryQueue:
+		n.prof.ClassDeliver(obj.class.id, profile.DeliverActive)
+	case entryRestore:
+		n.prof.ClassDeliver(obj.class.id, profile.DeliverRestore)
 	}
 }
 
@@ -314,6 +394,14 @@ func (n *NodeRT) Step() bool {
 		return false
 	}
 	obj.inSchedQ = false
+	// Classify the dispatch for attribution by pure inspection before the
+	// dequeue charge: saved continuations and waiting objects are context
+	// restorations; everything else is a queued (active-mode) dispatch.
+	if obj.resumeK != nil || obj.wait != nil {
+		n.curPath = profile.Restore
+	} else {
+		n.curPath = profile.LocalActive
+	}
 	n.charge(n.cost.DequeueDispatch)
 	n.C.SchedDequeues++
 	if n.tr != nil {
@@ -373,6 +461,9 @@ func (n *NodeRT) enqueueSched(obj *Object) {
 	obj.inSchedQ = true
 	n.schedQ.push(obj)
 	n.C.SchedEnqueues++
+	if n.prof != nil {
+		n.prof.QueueDepth(n.schedQ.len(), n.node.Now())
+	}
 	if n.tr != nil {
 		n.tracef(trace.EvSchedule, "%s (queue %d)", describe(obj), obj.queue.len())
 	}
@@ -383,6 +474,7 @@ func (n *NodeRT) enqueueSched(obj *Object) {
 // active mode for the duration; at completion the message queue is checked
 // and the object either returns to dormant mode or re-enqueues itself.
 func (n *NodeRT) invokeBody(obj *Object, f *Frame, body MethodFunc) {
+	prevPath := n.curPath // nested sends inside the body overwrite the register
 	obj.running = true
 	n.stackDepth++
 	if n.stackDepth > n.maxDepth {
@@ -392,6 +484,7 @@ func (n *NodeRT) invokeBody(obj *Object, f *Frame, body MethodFunc) {
 	body(ctx)
 	n.stackDepth--
 	obj.running = false
+	n.curPath = prevPath
 	h := f.hints
 	if h&HintLeafMethod != 0 && (ctx.acted || ctx.blocked) {
 		panic("core: HintLeafMethod violated: the method sent, created, blocked, or yielded")
@@ -410,6 +503,7 @@ func (n *NodeRT) invokeBody(obj *Object, f *Frame, body MethodFunc) {
 // runCont resumes a saved continuation (context restoration): like
 // invokeBody but without the poll/return epilogue of a fresh invocation.
 func (n *NodeRT) runCont(obj *Object, frame *Frame, k func(*Ctx)) {
+	prevPath := n.curPath
 	obj.running = true
 	n.stackDepth++
 	if n.stackDepth > n.maxDepth {
@@ -419,6 +513,7 @@ func (n *NodeRT) runCont(obj *Object, frame *Frame, k func(*Ctx)) {
 	k(ctx)
 	n.stackDepth--
 	obj.running = false
+	n.curPath = prevPath
 	if !ctx.blocked {
 		n.methodEnd(obj)
 		n.releaseFrame(frame)
@@ -454,6 +549,7 @@ func makeDormantEntry(cl *Class, p PatternID) entryFunc {
 	return func(n *NodeRT, obj *Object, f *Frame) {
 		if n.stackDepth >= n.rt.maxStackDepth {
 			n.C.Preemptions++
+			n.curPath = profile.Sched
 			n.charge(n.cost.FrameAlloc + n.cost.StoreMessage + n.cost.EnqueueMsgQ +
 				n.cost.SwitchVFTPActive)
 			obj.vftp = cl.active
@@ -514,6 +610,7 @@ func makeRestoreEntry(p PatternID) entryFunc {
 		if n.stackDepth >= n.rt.maxStackDepth {
 			// Defer the restoration through the scheduling queue.
 			n.C.Preemptions++
+			n.curPath = profile.Sched
 			n.charge(n.cost.FrameAlloc + n.cost.StoreMessage + n.cost.EnqueueMsgQ)
 			obj.queue.push(f)
 			n.enqueueSched(obj)

@@ -176,6 +176,31 @@ func Table4(ns []int) []Table4Col {
 	return out
 }
 
+// PathCost is the measured per-path cost breakdown of one N-queens run: the
+// live counterpart of Section 6's message-path cost taxonomy, sourced from
+// the cost-attribution profiler rather than static instruction ladders.
+type PathCost struct {
+	N     int
+	Nodes int
+	// Report carries the per-path rows, the dormant fraction (the paper's
+	// "approximately 75%", Section 6.3) and the per-class breakdown.
+	Report *abcl.ProfileReport
+}
+
+// PathBreakdown runs a profiled N-queens search and returns its cost
+// attribution. The profiler only observes, so the run's virtual-time results
+// equal an unprofiled run with the same seed.
+func PathBreakdown(n, nodes int, seed int64) (PathCost, error) {
+	res, err := nqueens.Run(nqueens.Options{
+		N: n, Nodes: nodes, Seed: seed,
+		Profile: &abcl.ProfileOptions{Classes: true},
+	})
+	if err != nil {
+		return PathCost{}, fmt.Errorf("exp: path breakdown N=%d P=%d: %w", n, nodes, err)
+	}
+	return PathCost{N: n, Nodes: nodes, Report: res.Report.Profile}, nil
+}
+
 // SpeedupPoint is one point of the paper's Figure 5.
 type SpeedupPoint struct {
 	N           int

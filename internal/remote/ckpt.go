@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/profile"
 	"repro/internal/sim"
 )
 
@@ -386,6 +387,7 @@ func (l *Layer) SendCkpt(src, dst, extraBytes int, fn func()) {
 	n := l.rt.NodeRT(src)
 	mn := n.MachineNode()
 	mn.Charge(l.cost().RemoteSendSetup)
+	l.profCharge(mn, profile.Ckpt, l.cost().RemoteSendSetup)
 	w := l.acquireWire(src)
 	w.kind = wmCkpt
 	w.src = src

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -59,7 +60,10 @@ type Options struct {
 	MaxAttempts int
 	// Trace, when non-nil, receives reliable-delivery events (retries,
 	// acks, duplicate suppression, reorder holds).
-	Trace *trace.Ring
+	Trace trace.Sink
+	// Prof, when non-nil, receives per-path attribution for the layer's
+	// instruction charges and wire records.
+	Prof *profile.Profiler
 
 	// BatchWindow enables per-link packet batching: wire records to the
 	// same destination node within this virtual-time window coalesce into
@@ -219,6 +223,7 @@ func (l *Layer) handleWire(rn *machine.Node, p *machine.Packet) {
 	switch w.kind {
 	case wmMessage:
 		rn.Charge(extract + c.RemoteHandlerCall)
+		l.profCharge(rn, profile.RemoteRecv, extract+c.RemoteHandlerCall)
 		if l.locOn {
 			if fwd := w.to.Obj.ForwardTarget(); !fwd.IsNil() {
 				// Stale address: the object migrated away. Tell the sender
@@ -229,28 +234,39 @@ func (l *Layer) handleWire(rn *machine.Node, p *machine.Packet) {
 		nrt.DeliverFrame(w.to.Obj, nrt.NewFrame(w.pat, w.args, w.replyTo), true)
 	case wmCreate:
 		rn.Charge(extract + c.RemoteHandlerCall + c.ChunkInit)
+		l.profCharge(rn, profile.Create, extract+c.RemoteHandlerCall+c.ChunkInit)
+		nrt.SetPath(profile.Create)
 		l.rt.InitChunk(nrt, w.chunk, w.cl, w.args)
 		// Step 4: allocate the replacement chunk and return its address.
 		rn.Charge(c.ChunkRefill)
+		l.profCharge(rn, profile.Create, c.ChunkRefill)
 		l.sendChunkReply(nrt, w.src, l.rt.NewFaultChunk(rn.ID), w.entry, nil)
 	case wmBlockingCreate:
 		rn.Charge(extract + c.RemoteHandlerCall + c.ChunkInit)
+		l.profCharge(rn, profile.Create, extract+c.RemoteHandlerCall+c.ChunkInit)
+		nrt.SetPath(profile.Create)
 		created := l.rt.NewFaultChunk(rn.ID)
 		l.rt.InitChunk(nrt, created, w.cl, w.args)
 		rn.Charge(c.ChunkRefill)
+		l.profCharge(rn, profile.Create, c.ChunkRefill)
 		addr := created.Addr()
 		onCreated := w.onCreated
 		l.sendChunkReply(nrt, w.src, l.rt.NewFaultChunk(rn.ID), w.entry, func() { onCreated(addr) })
 	case wmLocUpd:
 		rn.Charge(extract + c.RemoteHandlerCall)
+		l.profCharge(rn, profile.Forward, extract+c.RemoteHandlerCall)
 		l.learnLocation(rn, w.to, w.replyTo)
 	case wmCkpt:
 		rn.Charge(extract + c.RemoteHandlerCall)
+		l.profCharge(rn, profile.Ckpt, extract+c.RemoteHandlerCall)
+		nrt.SetPath(profile.Ckpt)
 		if w.then != nil {
 			w.then()
 		}
 	case wmChunk:
 		rn.Charge(extract + c.RemoteHandlerCall + c.StockPush)
+		l.profCharge(rn, profile.Create, extract+c.RemoteHandlerCall+c.StockPush)
+		nrt.SetPath(profile.Create)
 		if l.opt.StockDepth > 0 {
 			// The stock is capped at its configured depth: a chunk that
 			// would overfill it (after a miss) is simply dropped back to
@@ -423,6 +439,12 @@ func (s statsSink) NodePaused(node int, at, until sim.Time) {
 // protocol is enabled, through the ack/retry layer. All inter-node traffic
 // of the layer (categories 1-4) funnels through here.
 func (l *Layer) transmit(mn *machine.Node, pkt *machine.Packet) {
+	// Attribute the logical wire record once, here at the funnel; batch
+	// containers and retransmitted copies are attributed at their own sites
+	// so nothing is counted twice.
+	if np := l.prof(mn.ID); np != nil {
+		np.Packet(pathForCategory(pkt.Category), pkt.Size, mn.Now())
+	}
 	if l.rel != nil {
 		l.rel.send(mn, pkt)
 		return
@@ -436,8 +458,46 @@ func (l *Layer) Reliable() bool { return l.rel != nil }
 // tracef records a reliable-delivery event when tracing is enabled.
 func (l *Layer) tracef(at sim.Time, node int, kind trace.Kind, format string, args ...any) {
 	if l.opt.Trace != nil {
-		l.opt.Trace.Addf(at, node, kind, format, args...)
+		l.opt.Trace.Event(trace.Event{
+			At:   at,
+			Node: node,
+			Kind: kind,
+			What: fmt.Sprintf(format, args...),
+		})
 	}
+}
+
+// prof returns node's attribution accumulator (nil when profiling is off).
+func (l *Layer) prof(node int) *profile.NodeProf {
+	if l.opt.Prof == nil {
+		return nil
+	}
+	return l.opt.Prof.Node(node)
+}
+
+// profCharge attributes instructions the layer charged directly on a
+// machine node (those charges bypass the core's attribution register).
+func (l *Layer) profCharge(mn *machine.Node, p profile.Path, instr int) {
+	if np := l.prof(mn.ID); np != nil {
+		np.ChargeInstr(p, instr, mn.Now())
+	}
+}
+
+// pathForCategory maps a packet category to its attribution path.
+func pathForCategory(cat int) profile.Path {
+	switch cat {
+	case CatMessage:
+		return profile.RemoteSend
+	case CatCreate, CatChunk:
+		return profile.Create
+	case CatService:
+		return profile.Forward
+	case CatAck:
+		return profile.Ack
+	case CatCkpt:
+		return profile.Ckpt
+	}
+	return profile.Other
 }
 
 // Placement returns the active placement policy.
@@ -495,6 +555,10 @@ func (l *Layer) SendMessage(n *core.NodeRT, to core.Address, p core.PatternID, a
 	c := l.cost()
 	mn := n.MachineNode()
 	mn.Charge(c.RemoteSendSetup)
+	l.profCharge(mn, profile.RemoteSend, c.RemoteSendSetup)
+	if np := l.prof(src); np != nil {
+		np.CountEvent(profile.RemoteSend, mn.Now())
+	}
 	l.nodes[src].sent[0]++
 	size := packetHeaderBytes + core.ArgsSize(args)
 	if !replyTo.IsNil() {
@@ -553,6 +617,10 @@ func (l *Layer) CreateOn(ctx *core.Ctx, target int, cl *core.Class, ctorArgs []c
 		chunk := e.chunks[len(e.chunks)-1]
 		e.chunks = e.chunks[:len(e.chunks)-1]
 		n.MachineNode().Charge(c.StockPop)
+		l.profCharge(n.MachineNode(), profile.Create, c.StockPop)
+		if np := l.prof(n.ID()); np != nil {
+			np.CountEvent(profile.Create, n.MachineNode().Now())
+		}
 		n.C.StockHits++
 		n.C.RemoteCreations++
 		l.sendCreateRequest(n, target, chunk, cl, ctorArgs, e)
@@ -565,6 +633,9 @@ func (l *Layer) CreateOn(ctx *core.Ctx, target int, cl *core.Class, ctorArgs []c
 
 	// Empty stock: the creating object must block until the target both
 	// creates the object and replies (split-phase round trip).
+	if np := l.prof(n.ID()); np != nil {
+		np.CountEvent(profile.Create, n.MachineNode().Now())
+	}
 	n.C.StockMisses++
 	n.C.RemoteCreations++
 	self := ctx.SelfObject()
@@ -589,6 +660,7 @@ func (l *Layer) CreateOn(ctx *core.Ctx, target int, cl *core.Class, ctorArgs []c
 func (l *Layer) sendCreateRequest(n *core.NodeRT, target int, chunk *core.Object, cl *core.Class, ctorArgs []core.Value, e *stockEntry) {
 	sn := n.MachineNode()
 	sn.Charge(l.cost().RemoteSendSetup)
+	l.profCharge(sn, profile.Create, l.cost().RemoteSendSetup)
 	l.nodes[n.ID()].sent[1]++
 	src := n.ID()
 	w := l.acquireWire(src)
@@ -614,6 +686,7 @@ func (l *Layer) sendCreateRequest(n *core.NodeRT, target int, chunk *core.Object
 func (l *Layer) sendBlockingCreate(n *core.NodeRT, target int, cl *core.Class, ctorArgs []core.Value, e *stockEntry, onCreated func(core.Address)) {
 	sn := n.MachineNode()
 	sn.Charge(l.cost().RemoteSendSetup)
+	l.profCharge(sn, profile.Create, l.cost().RemoteSendSetup)
 	l.nodes[n.ID()].sent[1]++
 	src := n.ID()
 	w := l.acquireWire(src)
@@ -639,6 +712,7 @@ func (l *Layer) sendBlockingCreate(n *core.NodeRT, target int, cl *core.Class, c
 func (l *Layer) sendChunkReply(n *core.NodeRT, requester int, chunk *core.Object, e *stockEntry, then func()) {
 	sn := n.MachineNode()
 	sn.Charge(l.cost().RemoteSendSetup)
+	l.profCharge(sn, profile.Create, l.cost().RemoteSendSetup)
 	l.nodes[n.ID()].sent[2]++
 	src := n.ID()
 	w := l.acquireWire(src)
@@ -689,6 +763,7 @@ func (l *Layer) advertiseLocation(rn *machine.Node, src int, stale, fwd core.Add
 	c := l.cost()
 	l.rt.NodeRT(rn.ID).C.LocCacheMisses++
 	rn.Charge(c.RemoteSendSetup)
+	l.profCharge(rn, profile.Forward, c.RemoteSendSetup)
 	w := l.acquireWire(rn.ID)
 	w.kind = wmLocUpd
 	w.src = rn.ID

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"repro/internal/machine"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -304,6 +305,10 @@ func (r *reliable) retry(mn *machine.Node, m *relMsg) {
 	// timeout instant, then charge the software cost of the retransmission.
 	mn.SyncClock(mn.EventNow())
 	mn.Charge(r.l.cost().RemoteSendSetup)
+	if np := r.l.prof(mn.ID); np != nil {
+		np.ChargeInstr(profile.Retransmit, r.l.cost().RemoteSendSetup, mn.Now())
+		np.Packet(profile.Retransmit, m.size, mn.Now())
+	}
 	r.l.tracef(mn.Now(), mn.ID, trace.EvRetry,
 		"retransmit seq %d to n%d (attempt %d)", m.seq, m.dst, m.attempts+1)
 	r.xmit(mn, m)
@@ -367,6 +372,9 @@ func (r *reliable) deliver(rn *machine.Node, c *stats.Counters, inner func(*mach
 func (r *reliable) sendAck(rn *machine.Node, src int, seq uint64, at sim.Time) {
 	rcv := rn.ID
 	r.l.rt.NodeRT(rcv).C.AcksSent++
+	if np := r.l.prof(rcv); np != nil {
+		np.Packet(profile.Ack, ackBytes, at)
+	}
 	rn.ControllerSend(at, &machine.Packet{
 		Dst:      src,
 		Size:     ackBytes,
@@ -492,6 +500,9 @@ func (a *ackState) emit(src int, at sim.Time) {
 	a.owed[src] = 0
 	c := &r.l.rt.NodeRT(rcv).C
 	c.AcksSent++
+	if np := r.l.prof(rcv); np != nil {
+		np.Packet(profile.Ack, ackBytes+8*len(sel), at)
+	}
 	if owed > 1 {
 		c.AcksCoalesced += uint64(owed - 1)
 		r.l.tracef(at, rcv, trace.EvAckCoalesce,
@@ -535,6 +546,9 @@ func (r *reliable) piggybackAck(mn *machine.Node, dst int, wb *wireBatch, at sim
 	}
 	c := &r.l.rt.NodeRT(mn.ID).C
 	c.AcksCoalesced += uint64(owed)
+	if np := r.l.prof(mn.ID); np != nil {
+		np.PacketBytes(profile.Ack, 8+8*len(wb.ackSel))
+	}
 	r.l.tracef(mn.EventNow(), mn.ID, trace.EvAckCoalesce,
 		"piggyback ack %d on batch to n%d covers %d arrivals", wb.ackCum, dst, owed)
 	return 8 + 8*len(wb.ackSel)
@@ -570,6 +584,9 @@ func (r *reliable) piggybackOnPacket(mn *machine.Node, p *machine.Packet, at sim
 	}
 	c := &r.l.rt.NodeRT(mn.ID).C
 	c.AcksCoalesced += uint64(owed)
+	if np := r.l.prof(mn.ID); np != nil {
+		np.PacketBytes(profile.Ack, 8+8*len(sel))
+	}
 	r.l.tracef(mn.EventNow(), mn.ID, trace.EvAckCoalesce,
 		"piggyback ack %d on packet to n%d covers %d arrivals", cum, dst, owed)
 	rcv := mn.ID

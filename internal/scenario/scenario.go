@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 
 	abcl "repro"
 	"repro/internal/apps/diffusion"
@@ -143,6 +144,13 @@ type Spec struct {
 	// is exactly what the answer check verifies.
 	CheckpointIntervalNs int64 `json:"checkpoint_interval_ns,omitempty"`
 
+	// ProfileWindowNs, when positive, attaches the cost-attribution
+	// profiler with this time-series window to both runs. The profiler
+	// only observes (it never perturbs the schedule), so the answer and
+	// ledger checks are unaffected; the faulted run's per-path and
+	// per-slice "where did the time go" digest is appended to the report.
+	ProfileWindowNs int64 `json:"profile_window_ns,omitempty"`
+
 	Faults Faults `json:"faults"`
 	Assert Assert `json:"assert"`
 }
@@ -169,6 +177,7 @@ type RunResult struct {
 	Elapsed sim.Time
 	Packets uint64
 	Stats   stats.Counters
+	Profile *abcl.ProfileReport // set when the spec asked for profiling
 }
 
 // Outcome reports a full scenario execution: the fault-free baseline, the
@@ -265,6 +274,10 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 	batch := sim.Time(sp.BatchWindowNs)
 	ackDelay := sim.Time(sp.AckDelayNs)
 	ckpt := sim.Time(sp.CheckpointIntervalNs)
+	var prof *abcl.ProfileOptions
+	if sp.ProfileWindowNs > 0 {
+		prof = &abcl.ProfileOptions{Window: sim.Time(sp.ProfileWindowNs)}
+	}
 	switch sp.Workload {
 	case "nqueens":
 		n := sp.N
@@ -276,6 +289,7 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 			Placement:   abcl.PlaceRoundRobin, // deterministic across runs
 			BatchWindow: batch, AckDelay: ackDelay, Reliable: ackDelay > 0,
 			CheckpointInterval: ckpt,
+			Profile:            prof,
 		})
 		if err != nil {
 			return RunResult{}, err
@@ -284,6 +298,7 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 			Answer:  fmt.Sprintf("solutions=%d", res.Solutions),
 			Elapsed: res.Elapsed,
 			Stats:   res.Stats,
+			Profile: res.Report.Profile,
 		}, nil
 	case "forkjoin":
 		depth := sp.Depth
@@ -300,6 +315,9 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 		if ckpt > 0 {
 			opts = append(opts, abcl.WithCheckpoint(ckpt))
 		}
+		if prof != nil {
+			opts = append(opts, abcl.WithProfiler(*prof))
+		}
 		sys, err := abcl.NewSystem(opts...)
 		if err != nil {
 			return RunResult{}, err
@@ -308,11 +326,13 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 		if err != nil {
 			return RunResult{}, err
 		}
+		rep := sys.Report()
 		return RunResult{
 			Answer:  fmt.Sprintf("leaves=%d", leaves),
-			Elapsed: sys.Elapsed(),
-			Packets: sys.Packets(),
-			Stats:   sys.Stats(),
+			Elapsed: rep.Sched.Elapsed,
+			Packets: rep.Wire.Packets,
+			Stats:   rep.Sched.Counters,
+			Profile: rep.Profile,
 		}, nil
 	case "diffusion":
 		grid, iters := sp.Grid, sp.Iters
@@ -327,6 +347,7 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 			BlockPlace: true, Seed: seed, Faults: plan,
 			BatchWindow: batch, AckDelay: ackDelay, Reliable: ackDelay > 0,
 			CheckpointInterval: ckpt,
+			Profile:            prof,
 		})
 		if err != nil {
 			return RunResult{}, err
@@ -335,6 +356,7 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 			Answer:  fmt.Sprintf("residual=%.9g", res.Residual),
 			Elapsed: res.Elapsed,
 			Stats:   res.Stats,
+			Profile: res.Report.Profile,
 		}, nil
 	}
 	return RunResult{}, fmt.Errorf("unknown workload %q", sp.Workload)
@@ -366,12 +388,44 @@ func (o Outcome) Report() string {
 		s += fmt.Sprintf("  checkpoint: rounds=%d stable-bytes=%d crashes=%d restarts=%d replayed=%d\n",
 			c.CkptRounds, c.CkptBytes, c.NodeCrashes, c.NodeRestarts, c.ReplayedMsgs)
 	}
+	s += profileDigest(o.Faulted.Profile)
 	if o.OK() {
 		s += "  PASS\n"
 	} else {
 		for _, v := range o.Violations {
 			s += fmt.Sprintf("  FAIL: %s\n", v)
 		}
+	}
+	return s
+}
+
+// profileDigest condenses a profile report into two "where did the time
+// go" lines: the heaviest attribution paths, and the busiest time slice.
+// Empty when the spec did not ask for profiling.
+func profileDigest(p *abcl.ProfileReport) string {
+	if p == nil {
+		return ""
+	}
+	paths := append([]abcl.PathStat(nil), p.Paths...)
+	sort.Slice(paths, func(i, j int) bool { return paths[i].Instr > paths[j].Instr })
+	if len(paths) > 3 {
+		paths = paths[:3]
+	}
+	s := fmt.Sprintf("  profile: dormant=%.0f%% of local deliveries; heaviest paths:", p.DormantFraction*100)
+	for _, ps := range paths {
+		s += fmt.Sprintf(" %s %.0f%%", ps.Path, ps.InstrShare*100)
+	}
+	s += "\n"
+	if len(p.Slices) > 0 {
+		busy := 0
+		for i, sl := range p.Slices {
+			if sl.Instr > p.Slices[busy].Instr {
+				busy = i
+			}
+		}
+		sl := p.Slices[busy]
+		s += fmt.Sprintf("  profile: %d slices of %v; busiest [%v,%v) instr=%d packets=%d\n",
+			len(p.Slices), p.Window, sl.Start, sl.Start+p.Window, sl.Instr, sl.Packets)
 	}
 	return s
 }

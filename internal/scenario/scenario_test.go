@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -86,5 +87,45 @@ func TestLinkWildcardDefault(t *testing.T) {
 	}
 	if l.Src != -1 || l.Dst != -1 {
 		t.Errorf("omitted src/dst = (%d,%d), want wildcard (-1,-1)", l.Src, l.Dst)
+	}
+}
+
+// TestProfileWindowKnob asserts the profiling spec field: the profiler
+// attaches to both runs, slices the time series by the requested window,
+// changes no checked result (the run still passes), and its digest lands
+// in the report.
+func TestProfileWindowKnob(t *testing.T) {
+	plain := Spec{Name: "prof", Workload: "forkjoin", Nodes: 4, Depth: 5}
+	profiled := plain
+	profiled.ProfileWindowNs = 20_000
+	a, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(profiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Faulted.Profile != nil {
+		t.Error("unprofiled scenario produced a profile report")
+	}
+	p := b.Faulted.Profile
+	if p == nil {
+		t.Fatal("profiled scenario produced no profile report")
+	}
+	if b.Baseline.Profile == nil {
+		t.Error("baseline run produced no profile report")
+	}
+	if len(p.Slices) < 2 {
+		t.Errorf("window 20µs produced %d slices, want several", len(p.Slices))
+	}
+	if !b.OK() {
+		t.Errorf("profiled scenario failed: %v", b.Violations)
+	}
+	if a.Faulted.Answer != b.Faulted.Answer || a.Faulted.Elapsed != b.Faulted.Elapsed {
+		t.Error("attaching the profiler changed the scenario outcome")
+	}
+	if rep := b.Report(); !strings.Contains(rep, "profile:") {
+		t.Errorf("report lacks the profile digest:\n%s", rep)
 	}
 }

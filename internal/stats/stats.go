@@ -4,6 +4,8 @@
 // be aggregated for whole-machine reports.
 package stats
 
+import "reflect"
+
 // Counters is a set of monotonically increasing event counts. The zero value
 // is ready to use. Counters is not safe for concurrent use; in the
 // discrete-event simulator each instance is owned by one node.
@@ -77,52 +79,18 @@ type Counters struct {
 	HeapFrames    uint64 // contexts saved to heap frames
 }
 
-// Add accumulates o into c.
+// Add accumulates o into c. It sums every uint64 field via reflection so a
+// counter added to the struct can never be forgotten here; Add runs only at
+// aggregation time (whole-machine reports), never on the per-event hot path.
 func (c *Counters) Add(o *Counters) {
-	c.LocalToDormant += o.LocalToDormant
-	c.LocalToActive += o.LocalToActive
-	c.LocalRestores += o.LocalRestores
-	c.RemoteSends += o.RemoteSends
-	c.RemoteDelivers += o.RemoteDelivers
-	c.NowFastPath += o.NowFastPath
-	c.NowBlocked += o.NowBlocked
-	c.Replies += o.Replies
-	c.DroppedReplies += o.DroppedReplies
-	c.WaitFast += o.WaitFast
-	c.WaitBlocked += o.WaitBlocked
-	c.LocalCreations += o.LocalCreations
-	c.RemoteCreations += o.RemoteCreations
-	c.StockHits += o.StockHits
-	c.StockMisses += o.StockMisses
-	c.FaultBuffered += o.FaultBuffered
-	c.Migrations += o.Migrations
-	c.Forwards += o.Forwards
-	c.LinkDrops += o.LinkDrops
-	c.LinkDups += o.LinkDups
-	c.NodePauses += o.NodePauses
-	c.RelSent += o.RelSent
-	c.RelDelivered += o.RelDelivered
-	c.RelAbandoned += o.RelAbandoned
-	c.Retransmits += o.Retransmits
-	c.AcksSent += o.AcksSent
-	c.AcksCoalesced += o.AcksCoalesced
-	c.DupSuppressed += o.DupSuppressed
-	c.HeldOutOfOrder += o.HeldOutOfOrder
-	c.BatchesSent += o.BatchesSent
-	c.BatchedMsgs += o.BatchedMsgs
-	c.LocCacheHits += o.LocCacheHits
-	c.LocCacheMisses += o.LocCacheMisses
-	c.LocCacheInvalidates += o.LocCacheInvalidates
-	c.CkptSaves += o.CkptSaves
-	c.CkptBytes += o.CkptBytes
-	c.CkptRounds += o.CkptRounds
-	c.NodeCrashes += o.NodeCrashes
-	c.NodeRestarts += o.NodeRestarts
-	c.ReplayedMsgs += o.ReplayedMsgs
-	c.SchedEnqueues += o.SchedEnqueues
-	c.SchedDequeues += o.SchedDequeues
-	c.Preemptions += o.Preemptions
-	c.HeapFrames += o.HeapFrames
+	cv := reflect.ValueOf(c).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	for i := 0; i < cv.NumField(); i++ {
+		f := cv.Field(i)
+		if f.Kind() == reflect.Uint64 {
+			f.SetUint(f.Uint() + ov.Field(i).Uint())
+		}
+	}
 }
 
 // LocalMessages returns the count of intra-node object-to-object sends.

@@ -64,6 +64,34 @@ func TestAddCoversEveryField(t *testing.T) {
 	}
 }
 
+// TestEveryFieldParticipatesInAdd pins the Add contract from both sides: the
+// reflective sum covers exactly the uint64 fields, so every Counters field
+// must be uint64 (a differently-typed field would be silently skipped), and
+// adding a one-in-every-field value to zero must set every field.
+func TestEveryFieldParticipatesInAdd(t *testing.T) {
+	typ := reflect.TypeOf(Counters{})
+	if typ.NumField() == 0 {
+		t.Fatal("Counters has no fields")
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		if f := typ.Field(i); f.Type.Kind() != reflect.Uint64 {
+			t.Errorf("Counters.%s is %s; Add sums only uint64 fields", f.Name, f.Type)
+		}
+	}
+	var one, sum Counters
+	ov := reflect.ValueOf(&one).Elem()
+	for i := 0; i < ov.NumField(); i++ {
+		ov.Field(i).SetUint(1)
+	}
+	sum.Add(&one)
+	sv := reflect.ValueOf(&sum).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		if sv.Field(i).Uint() != 1 {
+			t.Errorf("Counters.%s did not participate in Add", typ.Field(i).Name)
+		}
+	}
+}
+
 func TestAddIsCommutativeProperty(t *testing.T) {
 	f := func(seed1, seed2 int64) bool {
 		a := randomCounters(rand.New(rand.NewSource(seed1)))

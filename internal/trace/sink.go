@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// JSONL streams every event as one JSON object per line:
+//
+//	{"at":152090,"node":3,"kind":"send","what":"nq.node <- nq.expand (dormant mode)"}
+//
+// Serialization happens inside Event, so nothing of the event is retained.
+// Output is byte-deterministic for a deterministic event stream (same seed
+// ⇒ identical file), which the golden-file test relies on. Write errors are
+// sticky: the first one is kept, subsequent events are dropped, and the
+// caller checks Err after the run.
+type JSONL struct {
+	w   io.Writer
+	err error
+}
+
+// NewJSONL returns a streaming JSONL sink writing to w. Wrap w in a
+// bufio.Writer for file output; the sink never flushes.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w} }
+
+// jsonlEvent is the wire schema of one line.
+type jsonlEvent struct {
+	At   int64  `json:"at"`
+	Node int    `json:"node"`
+	Kind string `json:"kind"`
+	What string `json:"what"`
+}
+
+// Event implements Sink.
+func (j *JSONL) Event(e Event) {
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(jsonlEvent{
+		At:   int64(e.At),
+		Node: e.Node,
+		Kind: e.Kind.String(),
+		What: e.What,
+	})
+	if err != nil {
+		j.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+	}
+}
+
+// Err returns the first write or marshal error, if any.
+func (j *JSONL) Err() error { return j.err }
+
+// Metrics is a summary sink: it keeps per-kind and per-node event counts and
+// the observed time range, discarding the event text. Cheap enough to leave
+// attached to long runs where a Ring would thrash.
+type Metrics struct {
+	total  uint64
+	byKind [NumKinds]uint64
+	byNode []uint64
+	first  sim.Time
+	last   sim.Time
+	any    bool
+}
+
+// NewMetrics returns an empty metrics sink.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Event implements Sink.
+func (m *Metrics) Event(e Event) {
+	m.total++
+	if int(e.Kind) < NumKinds {
+		m.byKind[e.Kind]++
+	}
+	for len(m.byNode) <= e.Node {
+		m.byNode = append(m.byNode, 0)
+	}
+	m.byNode[e.Node]++
+	if !m.any || e.At < m.first {
+		m.first = e.At
+	}
+	if e.At > m.last {
+		m.last = e.At
+	}
+	m.any = true
+}
+
+// MetricsSummary is the JSON-marshalable digest of a Metrics sink.
+type MetricsSummary struct {
+	Total   uint64            `json:"total_events"`
+	FirstNs int64             `json:"first_ns"`
+	LastNs  int64             `json:"last_ns"`
+	ByKind  map[string]uint64 `json:"by_kind"`
+	ByNode  []uint64          `json:"by_node"`
+}
+
+// Summary digests the counts. The by-kind map holds only kinds that fired.
+func (m *Metrics) Summary() MetricsSummary {
+	s := MetricsSummary{
+		Total:   m.total,
+		FirstNs: int64(m.first),
+		LastNs:  int64(m.last),
+		ByKind:  make(map[string]uint64),
+		ByNode:  append([]uint64(nil), m.byNode...),
+	}
+	for k, n := range m.byKind {
+		if n > 0 {
+			s.ByKind[Kind(k).String()] = n
+		}
+	}
+	return s
+}

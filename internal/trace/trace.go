@@ -1,6 +1,9 @@
-// Package trace records runtime events into a bounded ring buffer for
-// debugging and for visualizing schedules. Tracing is optional and off the
-// hot path: callers hold a *Ring and emit events explicitly.
+// Package trace defines the runtime's event-observation layer: a Sink
+// interface every subsystem emits events into, plus the bundled
+// implementations — the bounded Ring buffer (debugging, golden tests), the
+// streaming JSONL sink (machine-readable export) and the Metrics summary
+// sink. Tracing is optional and off the hot path: callers hold a Sink and
+// emit events explicitly, guarded by a nil check.
 package trace
 
 import (
@@ -44,7 +47,10 @@ const (
 	EvRestore   // a global restore rolled the machine back to a checkpoint
 )
 
-var kindNames = [...]string{
+// NumKinds is the number of defined event kinds.
+const NumKinds = int(EvRestore) + 1
+
+var kindNames = [NumKinds]string{
 	EvSend:        "send",
 	EvInvoke:      "invoke",
 	EvBuffer:      "buffer",
@@ -86,6 +92,53 @@ type Event struct {
 	What string
 }
 
+// Sink consumes runtime events. The contract every implementation (and every
+// emitter) relies on:
+//
+//   - Synchronous: Event is called inline from the simulation goroutine; the
+//     sink must not hand the event to another goroutine that races the run,
+//     and must not call back into the system being observed.
+//   - Deterministic order: events arrive in engine order, which is the same
+//     for every same-seed run. Per-event timestamps are *not* globally
+//     monotonic — a node's clock runs ahead of its event lane inside a
+//     method body — so sinks must not assume sorted At values.
+//   - No retention of event memory: the Event value is the sink's to copy,
+//     but the strings it carries may be formatted into shared buffers in
+//     future emitters — a sink that keeps events beyond the call must store
+//     its own copy of the value (Ring does; JSONL serializes immediately).
+//
+// Sinks observe and never perturb: a run with any combination of sinks
+// attached executes the identical virtual-time schedule as a run with none.
+type Sink interface {
+	Event(e Event)
+}
+
+// Tee fans events out to several sinks in argument order. Nil sinks are
+// dropped; a single survivor is returned undecorated.
+func Tee(sinks ...Sink) Sink {
+	out := make(tee, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+type tee []Sink
+
+func (t tee) Event(e Event) {
+	for _, s := range t {
+		s.Event(e)
+	}
+}
+
 // Ring is a fixed-capacity event buffer; when full, the oldest events are
 // overwritten. The zero Ring is unusable; use NewRing.
 type Ring struct {
@@ -102,9 +155,8 @@ func NewRing(capacity int) *Ring {
 	return &Ring{buf: make([]Event, 0, capacity)}
 }
 
-// Add records an event.
-func (r *Ring) Add(at sim.Time, node int, kind Kind, what string) {
-	e := Event{At: at, Node: node, Kind: kind, What: what}
+// Event implements Sink.
+func (r *Ring) Event(e Event) {
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, e)
 	} else {
@@ -112,6 +164,11 @@ func (r *Ring) Add(at sim.Time, node int, kind Kind, what string) {
 		r.next = (r.next + 1) % cap(r.buf)
 	}
 	r.count++
+}
+
+// Add records an event.
+func (r *Ring) Add(at sim.Time, node int, kind Kind, what string) {
+	r.Event(Event{At: at, Node: node, Kind: kind, What: what})
 }
 
 // Addf records a formatted event.

@@ -1,0 +1,55 @@
+package abcl
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoLegacyConstruction asserts that no internal package, command or
+// example constructs a System through the deprecated legacy path
+// (NewSystemConfig / MustNewSystemConfig): Config values must convert via
+// Config.Options() into NewSystem. The check parses every non-test source
+// file under internal/, cmd/ and examples/, so a regression fails here
+// rather than surviving as silent deprecated usage.
+func TestNoLegacyConstruction(t *testing.T) {
+	banned := map[string]bool{
+		"NewSystemConfig":     true,
+		"MustNewSystemConfig": true,
+	}
+	fset := token.NewFileSet()
+	for _, root := range []string{"internal", "cmd", "examples"} {
+		if _, err := os.Stat(root); err != nil {
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return err
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if ok && banned[id.Name] {
+					t.Errorf("%s: uses legacy constructor %s; build the System with abcl.NewSystem(cfg.Options()...)",
+						fset.Position(id.Pos()), id.Name)
+				}
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", root, err)
+		}
+	}
+}

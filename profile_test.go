@@ -1,0 +1,167 @@
+package abcl_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	abcl "repro"
+	"repro/internal/apps/misc"
+	"repro/internal/apps/nqueens"
+	"repro/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// TestProfilerEquivalence asserts the profiler's only-observe contract:
+// enabling cost attribution (with class tracking and time-series slicing)
+// changes no virtual-time result — solutions, elapsed time, packet counts
+// and every runtime counter match the unprofiled run bit for bit.
+func TestProfilerEquivalence(t *testing.T) {
+	base := nqueens.Options{N: 8, Nodes: 8, Seed: 7}
+	plain, err := nqueens.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := base
+	prof.Profile = &abcl.ProfileOptions{Window: 100 * abcl.Microsecond, Classes: true}
+	profiled, err := nqueens.Run(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profiled.Solutions != plain.Solutions {
+		t.Errorf("solutions: profiled %d, plain %d", profiled.Solutions, plain.Solutions)
+	}
+	if profiled.Elapsed != plain.Elapsed {
+		t.Errorf("elapsed: profiled %v, plain %v", profiled.Elapsed, plain.Elapsed)
+	}
+	if profiled.Packets != plain.Packets {
+		t.Errorf("packets: profiled %d, plain %d", profiled.Packets, plain.Packets)
+	}
+	if profiled.Stats != plain.Stats {
+		t.Errorf("counters diverge:\nprofiled %+v\nplain    %+v", profiled.Stats, plain.Stats)
+	}
+	if profiled.Report.Profile == nil {
+		t.Fatal("profiled run returned no profile report")
+	}
+	if plain.Report.Profile != nil {
+		t.Error("unprofiled run returned a profile report")
+	}
+}
+
+// TestProfilerCompleteness asserts that attribution covers the machine: the
+// sum of instructions across all paths equals the machine's total
+// instruction count, on a run that exercises the remote, reliable,
+// checkpoint and retransmission subsystems. An unpaired Charge call anywhere
+// in the engine shows up here as a deficit.
+func TestProfilerCompleteness(t *testing.T) {
+	res, err := nqueens.Run(nqueens.Options{
+		N: 8, Nodes: 8, Seed: 3,
+		Faults:             abcl.UniformFaults(0.05, 0.02, 0),
+		BatchWindow:        10 * abcl.Microsecond,
+		AckDelay:           50 * abcl.Microsecond,
+		CheckpointInterval: 500 * abcl.Microsecond,
+		Profile:            &abcl.ProfileOptions{Classes: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Report.Profile
+	if p == nil {
+		t.Fatal("no profile report")
+	}
+	if got, want := p.TotalInstr, res.Report.Sched.TotalInstructions; got != want {
+		t.Errorf("attributed instructions = %d, machine total = %d (unattributed: %d)",
+			got, want, int64(want)-int64(got))
+	}
+	if p.DormantFraction < 0.5 || p.DormantFraction > 0.95 {
+		t.Errorf("dormant fraction = %.2f, want the paper's ~0.75 neighbourhood", p.DormantFraction)
+	}
+	paths := make(map[string]abcl.PathStat, len(p.Paths))
+	for _, ps := range p.Paths {
+		paths[ps.Path] = ps
+	}
+	for _, want := range []string{"local-dormant", "remote-send", "remote-recv", "create", "ckpt", "retransmit", "ack", "body"} {
+		if _, ok := paths[want]; !ok {
+			t.Errorf("path %q missing from the report", want)
+		}
+	}
+	if rt := paths["retransmit"]; rt.Packets == 0 {
+		t.Error("faulty run attributed no retransmitted packets")
+	}
+	if ck := paths["ckpt"]; ck.StableBytes == 0 {
+		t.Error("checkpointing run attributed no stable-store bytes")
+	}
+}
+
+// TestObserverEquivalence asserts the Sink contract's passive side: an
+// attached observer changes no virtual-time result.
+func TestObserverEquivalence(t *testing.T) {
+	base := nqueens.Options{N: 8, Nodes: 4, Seed: 5}
+	plain, err := nqueens.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trace.NewMetrics()
+	observed := base
+	observed.Observer = m
+	res, err := nqueens.Run(observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed != plain.Elapsed || res.Stats != plain.Stats {
+		t.Error("attaching an observer changed virtual-time results")
+	}
+	if m.Summary().Total == 0 {
+		t.Error("observer saw no events")
+	}
+}
+
+// traceForkJoin runs a small deterministic fork-join workload with a JSONL
+// observer and returns the emitted stream.
+func traceForkJoin(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sys, err := abcl.NewSystem(
+		abcl.WithNodes(4),
+		abcl.WithSeed(2),
+		abcl.WithObserver(trace.NewJSONL(&buf)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := misc.RunForkJoinOn(sys, 5); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestJSONLGolden pins the profile stream format and its determinism: the
+// same seed must produce a byte-identical JSON Lines stream, equal to the
+// golden file. Regenerate with `go test -run TestJSONLGolden -update .`
+// after an intentional event or format change.
+func TestJSONLGolden(t *testing.T) {
+	got := traceForkJoin(t)
+	if again := traceForkJoin(t); !bytes.Equal(got, again) {
+		t.Fatal("same-seed runs produced different JSONL streams")
+	}
+	golden := filepath.Join("testdata", "forkjoin_trace.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSONL stream differs from %s (%d vs %d bytes); regenerate with -update if the change is intentional",
+			golden, len(got), len(want))
+	}
+}
