@@ -24,7 +24,7 @@ tier1:
 vet-race:
 	go vet ./...
 	go test -race ./internal/parexec/... ./internal/core/... ./internal/sim/... ./internal/conformance/... ./internal/remote/...
-	go test -race -run 'TestWirePath|TestCrash|TestSnapshot|TestCheckpoint' .
+	go test -race -run 'TestWirePath|TestCrash|TestSnapshot|TestCheckpoint|TestMultiactive' .
 
 scenario-smoke:
 	go run ./cmd/abclsim -workload scenario -scenario all
@@ -46,7 +46,7 @@ cover:
 # Performance tracking. bench-baseline records the suite into a dated JSON
 # report; bench-compare records a fresh report and prints a side-by-side
 # diff against BASELINE (default: the newest BENCH_*.json in the repo).
-BENCH_PATTERN ?= BenchmarkTable1_IntraNodeDormant|BenchmarkTable4_NQueensScale|BenchmarkFigure5_Speedup|BenchmarkSimulatorThroughput|BenchmarkForkJoin|BenchmarkTable_AllToAll|BenchmarkProfilerOffOverhead
+BENCH_PATTERN ?= BenchmarkTable1_IntraNodeDormant|BenchmarkTable4_NQueensScale|BenchmarkFigure5_Speedup|BenchmarkSimulatorThroughput|BenchmarkForkJoin|BenchmarkTable_AllToAll|BenchmarkProfilerOffOverhead|BenchmarkHotKeyContention
 BENCH_TIME ?= 20x
 BENCH_DATE := $(shell date +%Y-%m-%d)
 BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
@@ -60,13 +60,15 @@ BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 # allocation creep fails here), while its wall clock gets the same 10%
 # headroom as everything else because host timing noise on shared
 # machines exceeds the 2% target (the measured off-overhead itself is
-# recorded in EXPERIMENTS.md).
-GATE_BENCH ?= Figure5_Speedup/N10_P256,ProfilerOffOverhead:10:2
+# recorded in EXPERIMENTS.md). The fully-annotated hot-key contention
+# run gates the multiactive scheduler's per-group queue machinery at the
+# default headroom.
+GATE_BENCH ?= Figure5_Speedup/N10_P256,ProfilerOffOverhead:10:2,HotKeyContention/full
 GATE_PCT ?= 10
 
 bench-gate:
 	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline found; run make bench-baseline first" >&2; exit 1; }
-	go test -run xxx -bench 'BenchmarkFigure5_Speedup$$/N10_P256$$|BenchmarkProfilerOffOverhead$$' -benchmem -benchtime $(BENCH_TIME) . \
+	go test -run xxx -bench 'BenchmarkFigure5_Speedup$$/N10_P256$$|BenchmarkProfilerOffOverhead$$|BenchmarkHotKeyContention$$/full$$' -benchmem -benchtime $(BENCH_TIME) . \
 		| go run ./cmd/benchjson -compare $(BASELINE) -gate '$(GATE_BENCH)' -gate-pct $(GATE_PCT)
 
 bench-baseline:

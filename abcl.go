@@ -26,6 +26,7 @@
 package abcl
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/checkpoint"
@@ -506,8 +507,12 @@ type System struct {
 //	    abcl.WithFaults(abcl.UniformFaults(0.1, 0.05, 0)),
 //	)
 //
-// Every omitted option selects the AP1000-flavoured default. The legacy
-// struct form survives as NewSystemConfig.
+// Every omitted option selects the AP1000-flavoured default.
+//
+// Validation is aggregated: every option is applied (later options still
+// override earlier ones) and every complaint — bad individual arguments and
+// incompatible combinations alike — is collected and returned as one joined
+// error, so a misconfigured call reports all of its problems at once.
 func NewSystem(opts ...Option) (*System, error) {
 	s := settings{
 		nodes:     1,
@@ -516,13 +521,34 @@ func NewSystem(opts ...Option) (*System, error) {
 		placement: remote.RoundRobin{},
 		seed:      DefaultSeed,
 	}
-	for _, opt := range opts {
+	var errs []error
+	for i, opt := range opts {
 		if opt == nil {
-			return nil, fmt.Errorf("abcl: nil Option")
+			errs = append(errs, fmt.Errorf("abcl: option %d is nil", i))
+			continue
 		}
 		if err := opt(&s); err != nil {
-			return nil, err
+			errs = append(errs, err)
 		}
+	}
+	// Cross-option validation, all up front. Checkpointing is active when
+	// asked for explicitly or implied by a crash plan (recovery needs at
+	// least the baseline checkpoint); it forces reliable delivery, because
+	// snapshot markers and post-restore replay ride the ack/retry protocol's
+	// per-link sequence space.
+	ckptOn := s.ckptEvery > 0 || len(s.faults.Crashes) > 0
+	reliable := s.reliable || s.faults.Enabled() || ckptOn
+	if (s.observer != nil || s.traceCap > 0) && s.parWorkers > 1 {
+		errs = append(errs, fmt.Errorf("abcl: WithTrace/WithObserver and WithParallelSim are incompatible: observers see a single global event interleaving"))
+	}
+	if ckptOn && s.parWorkers > 1 {
+		errs = append(errs, fmt.Errorf("abcl: WithCheckpoint (or a crash plan) and WithParallelSim are incompatible: a restore touches every event lane at once"))
+	}
+	if s.ackDelay > 0 && !reliable {
+		errs = append(errs, fmt.Errorf("abcl: WithDelayedAcks requires the reliable protocol (combine with WithFaults or WithReliable)"))
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	mcfg := machine.DefaultConfig(s.nodes)
 	if s.machine != nil {
@@ -546,9 +572,6 @@ func NewSystem(opts ...Option) (*System, error) {
 			sink = ring
 		}
 	}
-	if sink != nil && s.parWorkers > 1 {
-		return nil, fmt.Errorf("abcl: WithTrace/WithObserver and WithParallelSim are incompatible: observers see a single global event interleaving")
-	}
 	var prof *profile.Profiler
 	if s.prof != nil {
 		prof = profile.New(s.nodes, profile.Options{
@@ -556,18 +579,6 @@ func NewSystem(opts ...Option) (*System, error) {
 			Classes: s.prof.Classes,
 			InstrNs: mcfg.NsPerInstr(),
 		})
-	}
-	// Checkpointing is active when asked for explicitly or implied by a
-	// crash plan (recovery needs at least the baseline checkpoint). It
-	// forces reliable delivery: the snapshot markers and the post-restore
-	// replay ride the ack/retry protocol's per-link sequence space.
-	ckptOn := s.ckptEvery > 0 || len(s.faults.Crashes) > 0
-	if ckptOn && s.parWorkers > 1 {
-		return nil, fmt.Errorf("abcl: WithCheckpoint (or a crash plan) and WithParallelSim are incompatible: a restore touches every event lane at once")
-	}
-	reliable := s.reliable || s.faults.Enabled() || ckptOn
-	if s.ackDelay > 0 && !reliable {
-		return nil, fmt.Errorf("abcl: WithDelayedAcks requires the reliable protocol (combine with WithFaults or WithReliable)")
 	}
 	if s.faults.Enabled() {
 		inj, err := fault.NewInjector(s.faults, s.seed, s.nodes)
@@ -626,135 +637,6 @@ func MustNewSystem(opts ...Option) *System {
 	return s
 }
 
-// Config is the legacy struct configuration, kept for callers predating the
-// option form. The zero value of every field selects the AP1000-flavoured
-// default.
-//
-// Deprecated: use NewSystem with Options. Existing Config values convert
-// losslessly via Config.Options — `NewSystem(cfg.Options()...)` — which is
-// the only supported construction path from a Config; features added since
-// (WithObserver, WithProfiler, ...) have no Config field.
-type Config struct {
-	// Nodes is the processor count (default 1).
-	Nodes int
-	// Policy selects stack-based (default) or naive scheduling.
-	Policy Policy
-	// MaxStackDepth bounds stack-based invocation nesting (default 64).
-	MaxStackDepth int
-	// StockDepth is the chunk-stock depth per (node, class); -1 disables
-	// the stock (every remote create blocks, WithoutChunkStock), 0 selects
-	// DefaultStockDepth (WithChunkStock(2)).
-	StockDepth int
-	// Placement picks remote-creation targets (default round-robin).
-	Placement Placement
-	// Seed drives randomized placement deterministically; 0 selects
-	// DefaultSeed.
-	Seed int64
-	// Machine overrides the full machine configuration; when nil an
-	// AP1000-like default (25MHz, CPI 2.3, squarish torus) is used.
-	Machine *MachineConfig
-	// TraceCapacity, when positive, enables runtime event tracing into a
-	// ring buffer of that many events, available as System.Trace.
-	TraceCapacity int
-	// Faults, when enabled, injects interconnect faults and turns on
-	// reliable delivery (WithFaults).
-	Faults FaultPlan
-	// Reliable enables the ack/retry protocol without faults (WithReliable).
-	Reliable bool
-	// BatchWindow, when positive, enables per-link packet batching with
-	// this aggregation window (WithBatching); BatchMaxBytes is the early
-	// flush budget (0 selects the default).
-	BatchWindow   Time
-	BatchMaxBytes int
-	// AckDelay, when positive, enables cumulative delayed acknowledgments
-	// in the reliable layer (WithDelayedAcks).
-	AckDelay Time
-	// LoadHorizon, when positive, expires piggybacked load samples for
-	// load-based placement (WithLoadHorizon).
-	LoadHorizon Time
-	// NoLocationCache disables the post-migration location cache
-	// (WithoutLocationCache).
-	NoLocationCache bool
-	// CheckpointInterval, when positive, enables periodic coordinated
-	// checkpoints (WithCheckpoint).
-	CheckpointInterval Time
-}
-
-// Options translates the legacy struct into the equivalent option list,
-// applying the documented sentinel mappings (StockDepth -1 → disabled,
-// 0 → DefaultStockDepth; Seed 0 → DefaultSeed).
-func (cfg Config) Options() []Option {
-	var opts []Option
-	if cfg.Nodes > 0 {
-		opts = append(opts, WithNodes(cfg.Nodes))
-	}
-	if cfg.Policy != StackBased {
-		opts = append(opts, WithPolicy(cfg.Policy))
-	}
-	if cfg.MaxStackDepth > 0 {
-		opts = append(opts, WithMaxStackDepth(cfg.MaxStackDepth))
-	}
-	switch {
-	case cfg.StockDepth < 0:
-		opts = append(opts, WithoutChunkStock())
-	case cfg.StockDepth > 0:
-		opts = append(opts, WithChunkStock(cfg.StockDepth))
-	}
-	if cfg.Placement != nil {
-		opts = append(opts, WithPlacement(cfg.Placement))
-	}
-	if cfg.Seed != 0 {
-		opts = append(opts, WithSeed(cfg.Seed))
-	}
-	if cfg.Machine != nil {
-		opts = append(opts, WithMachine(*cfg.Machine))
-	}
-	if cfg.TraceCapacity > 0 {
-		opts = append(opts, WithTrace(cfg.TraceCapacity))
-	}
-	if cfg.Faults.Enabled() {
-		opts = append(opts, WithFaults(cfg.Faults))
-	}
-	if cfg.Reliable {
-		opts = append(opts, WithReliable())
-	}
-	if cfg.BatchWindow > 0 {
-		opts = append(opts, WithBatching(cfg.BatchWindow, cfg.BatchMaxBytes))
-	}
-	if cfg.AckDelay > 0 {
-		opts = append(opts, WithDelayedAcks(cfg.AckDelay))
-	}
-	if cfg.LoadHorizon > 0 {
-		opts = append(opts, WithLoadHorizon(cfg.LoadHorizon))
-	}
-	if cfg.NoLocationCache {
-		opts = append(opts, WithoutLocationCache())
-	}
-	if cfg.CheckpointInterval > 0 {
-		opts = append(opts, WithCheckpoint(cfg.CheckpointInterval))
-	}
-	return opts
-}
-
-// NewSystemConfig builds a System from the legacy Config struct.
-//
-// Deprecated: use NewSystem(cfg.Options()...). No internal package or
-// command may use this entry point (enforced by TestNoLegacyConstruction).
-func NewSystemConfig(cfg Config) (*System, error) {
-	return NewSystem(cfg.Options()...)
-}
-
-// MustNewSystemConfig is NewSystemConfig for known-good configurations.
-//
-// Deprecated: use MustNewSystem(cfg.Options()...).
-func MustNewSystemConfig(cfg Config) *System {
-	s, err := NewSystemConfig(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Pattern registers (or looks up) a message pattern.
 func (s *System) Pattern(name string, arity int) Pattern {
 	return s.RT.Reg.Register(name, arity)
@@ -763,6 +645,26 @@ func (s *System) Pattern(name string, arity int) Pattern {
 // Class defines a new object class with stateSize state variables and an
 // optional lazy initializer.
 func (s *System) Class(name string, stateSize int, init InitFunc) *Class {
+	return s.RT.DefineClass(name, stateSize, init)
+}
+
+// NewClass is the builder entry point for class definition: it returns the
+// fresh class for chaining Method, Group, Priority and ReorderBound calls.
+//
+//	counter := sys.NewClass("counter", 1, nil).
+//	    Method(get, getBody).
+//	    Method(add, addBody).
+//	    Group("reads", get).
+//	    Group("writes", add).
+//	    Priority("writes", 1)
+//
+// Declaring any compatibility group makes the class multiactive: invocations
+// whose patterns share a group may be live on one object simultaneously
+// (running, or blocked in a now-type wait), while ungrouped patterns stay
+// exclusive with everything. A class with no groups keeps the paper's serial
+// semantics exactly. NewClass and Class are the same definition under two
+// idioms; both return the chainable *Class.
+func (s *System) NewClass(name string, stateSize int, init InitFunc) *Class {
 	return s.RT.DefineClass(name, stateSize, init)
 }
 
@@ -967,71 +869,6 @@ func (s *System) Report() Report {
 		r.Profile = s.prof.Report()
 	}
 	return r
-}
-
-// Reliable reports whether the ack/retry delivery protocol is active.
-//
-// Deprecated: use Report().Reliable.Enabled.
-func (s *System) Reliable() bool { return s.Net.Reliable() }
-
-// Elapsed returns the parallel makespan: the largest node clock.
-//
-// Deprecated: use Report().Sched.Elapsed.
-func (s *System) Elapsed() Time { return s.M.MaxClock() }
-
-// Utilization returns busy time over (makespan x nodes).
-//
-// Deprecated: use Report().Sched.Utilization.
-func (s *System) Utilization() float64 { return s.M.Utilization() }
-
-// Stats aggregates runtime counters over all nodes.
-//
-// Deprecated: use Report().Sched.Counters.
-func (s *System) Stats() Counters { return s.RT.TotalStats() }
-
-// TotalInstructions returns the instruction count summed over nodes.
-//
-// Deprecated: use Report().Sched.TotalInstructions.
-func (s *System) TotalInstructions() uint64 { return s.M.TotalInstr() }
-
-// Packets returns the total inter-node packet count (physical launches;
-// with batching one packet may carry several logical messages).
-//
-// Deprecated: use Report().Wire.Packets.
-func (s *System) Packets() uint64 { return s.M.TotalPackets() }
-
-// LogicalMsgs returns the total count of logical messages launched onto the
-// wire. Without batching it equals Packets; with batching it exceeds it, and
-// the ratio is the mean aggregation factor.
-//
-// Deprecated: use Report().Wire.LogicalMsgs.
-func (s *System) LogicalMsgs() uint64 { return s.M.TotalMsgs() }
-
-// BatchWindow returns the configured batching window and byte budget
-// (zeroes when batching is off).
-//
-// Deprecated: use Report().Wire.BatchWindow and Report().Wire.BatchMaxBytes.
-func (s *System) BatchWindow() (Time, int) { return s.Net.Batching() }
-
-// AckDelay returns the delayed-ack interval (zero when acks are immediate).
-//
-// Deprecated: use Report().Reliable.AckDelay.
-func (s *System) AckDelay() Time { return s.Net.AckDelay() }
-
-// LocationCache reports whether the post-migration location cache is on.
-//
-// Deprecated: use Report().Wire.LocationCache.
-func (s *System) LocationCache() bool { return s.Net.LocationCache() }
-
-// CheckpointRounds returns the number of completed checkpoint rounds
-// (including the baseline), or zero when checkpointing is off.
-//
-// Deprecated: use Report().Ckpt.Rounds.
-func (s *System) CheckpointRounds() int {
-	if s.ckpt == nil {
-		return 0
-	}
-	return s.ckpt.Rounds()
 }
 
 // InstrTime converts an instruction count to virtual time under the

@@ -1,6 +1,7 @@
 package abcl_test
 
 import (
+	"strings"
 	"testing"
 
 	abcl "repro"
@@ -15,8 +16,8 @@ func TestNewSystemDefaults(t *testing.T) {
 	if sys.Nodes() != 1 {
 		t.Errorf("default nodes = %d, want 1", sys.Nodes())
 	}
-	if sys.Elapsed() != 0 {
-		t.Errorf("fresh system elapsed = %v, want 0", sys.Elapsed())
+	if got := sys.Report().Sched.Elapsed; got != 0 {
+		t.Errorf("fresh system elapsed = %v, want 0", got)
 	}
 }
 
@@ -64,13 +65,14 @@ func TestEndToEndFacade(t *testing.T) {
 	if got != "hi" {
 		t.Fatalf("echo = %q, want hi", got)
 	}
-	if sys.Elapsed() == 0 {
+	rep := sys.Report()
+	if rep.Sched.Elapsed == 0 {
 		t.Error("elapsed must advance")
 	}
-	if sys.Packets() == 0 {
+	if rep.Wire.Packets == 0 {
 		t.Error("cross-node run must produce packets")
 	}
-	if sys.TotalInstructions() == 0 {
+	if rep.Sched.TotalInstructions == 0 {
 		t.Error("instructions must be accounted")
 	}
 	if sys.InstrTime(25) != 2300 {
@@ -96,24 +98,49 @@ func TestChunkStockOptions(t *testing.T) {
 	}
 }
 
-// TestLegacyConfigMapping pins the documented sentinel translation of the
-// compat wrapper: StockDepth -1 → disabled, 0 → DefaultStockDepth; Seed
-// 0 → DefaultSeed.
-func TestLegacyConfigMapping(t *testing.T) {
-	sys := abcl.MustNewSystemConfig(abcl.Config{Nodes: 2, StockDepth: -1})
-	if sys.Net.StockDepth() != 0 {
-		t.Errorf("Config.StockDepth -1: depth = %d, want 0", sys.Net.StockDepth())
+// NewSystem validates everything up front and reports all complaints in
+// one joined error — bad individual arguments and incompatible
+// combinations alike.
+func TestOptionValidationAggregated(t *testing.T) {
+	_, err := abcl.NewSystem(
+		abcl.WithNodes(0),                   // bad argument
+		abcl.WithSeed(0),                    // bad argument
+		abcl.WithTrace(64),                  // incompatible with parallel sim
+		abcl.WithParallelSim(4),             //
+		abcl.WithDelayedAcks(abcl.Time(50)), // needs the reliable protocol
+	)
+	if err == nil {
+		t.Fatal("misconfigured NewSystem must fail")
 	}
-	sys2 := abcl.MustNewSystemConfig(abcl.Config{Nodes: 2})
-	if sys2.Net.StockDepth() != abcl.DefaultStockDepth {
-		t.Errorf("Config.StockDepth 0: depth = %d, want %d", sys2.Net.StockDepth(), abcl.DefaultStockDepth)
+	for _, frag := range []string{
+		"WithNodes(0)", "WithSeed(0)", "WithParallelSim", "WithDelayedAcks",
+	} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("aggregated error misses %q:\n%v", frag, err)
+		}
 	}
-	if sys2.Seed() != abcl.DefaultSeed {
-		t.Errorf("Config.Seed 0: seed = %d, want DefaultSeed (%d)", sys2.Seed(), abcl.DefaultSeed)
+}
+
+// Incompatible combinations are construction-time errors, not latent
+// misbehaviour.
+func TestOptionCombinationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []abcl.Option
+	}{
+		{"trace+parallel", []abcl.Option{abcl.WithTrace(64), abcl.WithParallelSim(2)}},
+		{"checkpoint+parallel", []abcl.Option{abcl.WithNodes(2), abcl.WithCheckpoint(abcl.Time(1000)), abcl.WithParallelSim(2)}},
+		{"delayed-acks unreliable", []abcl.Option{abcl.WithNodes(2), abcl.WithDelayedAcks(abcl.Time(50))}},
 	}
-	sys3 := abcl.MustNewSystemConfig(abcl.Config{Nodes: 2, StockDepth: 5, Seed: 9})
-	if sys3.Net.StockDepth() != 5 || sys3.Seed() != 9 {
-		t.Errorf("explicit config: depth=%d seed=%d, want 5/9", sys3.Net.StockDepth(), sys3.Seed())
+	for _, tc := range cases {
+		if _, err := abcl.NewSystem(tc.opts...); err == nil {
+			t.Errorf("%s: want error, got none", tc.name)
+		}
+	}
+	// The same ingredients in compatible form still construct.
+	if _, err := abcl.NewSystem(abcl.WithNodes(2), abcl.WithReliable(), abcl.WithDelayedAcks(abcl.Time(50))); err == nil {
+	} else {
+		t.Errorf("reliable delayed acks must construct: %v", err)
 	}
 }
 
@@ -157,14 +184,14 @@ func TestSeedAccessor(t *testing.T) {
 
 func TestWithFaultsEnablesReliability(t *testing.T) {
 	sys := abcl.MustNewSystem(abcl.WithNodes(2), abcl.WithFaults(abcl.UniformFaults(0.1, 0, 0)))
-	if !sys.Reliable() {
+	if !sys.Report().Reliable.Enabled {
 		t.Error("WithFaults must enable the reliable protocol")
 	}
 	if sys.M.Faults() == nil {
 		t.Error("WithFaults must install the injector on the machine")
 	}
 	plain := abcl.MustNewSystem(abcl.WithNodes(2))
-	if plain.Reliable() || plain.M.Faults() != nil {
+	if plain.Report().Reliable.Enabled || plain.M.Faults() != nil {
 		t.Error("fault-free system must not pay for reliability")
 	}
 }
@@ -279,7 +306,7 @@ func TestSystemMigrate(t *testing.T) {
 	if got := moved.Obj.State(0).Int(); got != 1 {
 		t.Fatalf("count = %d, want 1", got)
 	}
-	if sys.Stats().Forwards == 0 {
+	if sys.Report().Sched.Counters.Forwards == 0 {
 		t.Error("forwarding not recorded")
 	}
 }

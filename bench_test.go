@@ -14,6 +14,7 @@ import (
 
 	abcl "repro"
 	"repro/internal/apps/diffusion"
+	"repro/internal/apps/hotkey"
 	"repro/internal/apps/misc"
 	"repro/internal/apps/nqueens"
 	"repro/internal/apps/pingpong"
@@ -500,9 +501,41 @@ func BenchmarkMigrationForwarding(b *testing.B) {
 		if err := sys.Run(); err != nil {
 			b.Fatal(err)
 		}
-		if got := sys.Stats().Forwards; got != 100 {
+		if got := sys.Report().Sched.Counters.Forwards; got != 100 {
 			b.Fatalf("forwards = %d, want 100", got)
 		}
+	}
+}
+
+// --- Contention: throughput vs annotation coverage ------------------------
+
+// BenchmarkHotKeyContention runs the hot-key counter workload at each
+// annotation coverage level and reports virtual-time throughput plus the
+// speedup over the unannotated serial baseline — the headline multiactive
+// ablation (EXPERIMENTS.md). Wall-clock ns/op additionally tracks the
+// simulator-side cost of the per-group ready queues, which is what the
+// perf gate pins.
+func BenchmarkHotKeyContention(b *testing.B) {
+	opts := hotkey.Options{Nodes: 16, Clients: 16, Ops: 40, WritePct: 20}
+	opts.Coverage = hotkey.CoverNone
+	base, err := hotkey.Run(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cov := range []hotkey.Coverage{hotkey.CoverNone, hotkey.CoverPartial, hotkey.CoverFull} {
+		b.Run(cov.String(), func(b *testing.B) {
+			var res hotkey.Result
+			for i := 0; i < b.N; i++ {
+				opts.Coverage = cov
+				res, err = hotkey.Run(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Throughput, "ops/virtual-ms")
+			b.ReportMetric(res.Throughput/base.Throughput, "speedup")
+			b.ReportMetric(float64(res.MaxLive), "peak-overlap")
+		})
 	}
 }
 

@@ -48,7 +48,9 @@ import (
 
 	abcl "repro"
 	"repro/internal/apps/diffusion"
+	"repro/internal/apps/hotkey"
 	"repro/internal/apps/misc"
+	"repro/internal/apps/orderbook"
 	"repro/internal/apps/nqueens"
 	"repro/internal/apps/pingpong"
 	"repro/internal/machine"
@@ -57,13 +59,19 @@ import (
 )
 
 var (
-	workload  = flag.String("workload", "nqueens", "workload: nqueens | pingpong | forkjoin | diffusion | scenario")
+	workload  = flag.String("workload", "nqueens", "workload: nqueens | pingpong | forkjoin | diffusion | hotkey | orderbook | scenario")
 	scen      = flag.String("scenario", "all", "scenario to run: all | <bundled name> | <path to .json>")
 	n         = flag.Int("n", 10, "N-queens board size")
 	depth     = flag.Int("depth", 10, "fork-join tree depth")
 	grid      = flag.Int("grid", 16, "diffusion grid edge length")
 	gridIters = flag.Int("grid-iters", 10, "diffusion iterations")
 	block     = flag.Bool("block", true, "diffusion: block placement (vs scatter)")
+	clients   = flag.Int("clients", 16, "hotkey/orderbook: closed-loop client objects")
+	opsPer    = flag.Int("ops", 40, "hotkey/orderbook: operations per client")
+	writePct  = flag.Int("write-pct", 20, "hotkey: percentage of operations that are writes")
+	coverage  = flag.String("coverage", "full", "hotkey: annotation coverage none | partial | full")
+	grouped   = flag.Bool("grouped", true, "orderbook: declare compatibility groups on the book")
+	reorder   = flag.Int("reorder", 0, "hotkey/orderbook: bounded-reordering annotation (0 = strict)")
 	nodes     = flag.Int("nodes", 64, "number of processing nodes")
 	policy    = flag.String("policy", "stack", "scheduling policy: stack | naive")
 	placement = flag.String("placement", "random", "placement: random | rr | local | load | depth")
@@ -352,6 +360,10 @@ func main() {
 		err = runForkJoin()
 	case "diffusion":
 		err = runDiffusion()
+	case "hotkey":
+		err = runHotKey()
+	case "orderbook":
+		err = runOrderBook()
 	case "scenario":
 		err = runScenarios()
 	default:
@@ -520,7 +532,7 @@ func runForkJoin() error {
 	if err != nil {
 		return err
 	}
-	c := sys.Stats()
+	c := sys.Report().Sched.Counters
 	benchEvents.Store(sys.M.Eng.Fired())
 	benchMsgs.Store(c.LocalToDormant + c.LocalToActive + c.RemoteSends)
 	fmt.Printf("fork-join depth=%d on %d nodes: %d leaves (expected %d)\n",
@@ -548,6 +560,53 @@ func runDiffusion() error {
 	fmt.Printf("  utilization   %.1f%%\n", 100*res.Utilization)
 	fmt.Printf("  residual      %.6g (sequential: %.6g)\n",
 		res.Residual, diffusion.SequentialResidual(*grid, *grid, *gridIters))
+	printStats(res.Stats)
+	return nil
+}
+
+func runHotKey() error {
+	cov, err := hotkey.ParseCoverage(*coverage)
+	if err != nil {
+		return err
+	}
+	res, err := hotkey.Run(hotkey.Options{
+		Nodes: *nodes, Clients: *clients, Ops: *opsPer,
+		WritePct: *writePct, Coverage: cov, Reorder: *reorder,
+		Seed: *seed, Faults: faultPlan(),
+		BatchWindow: abcl.Time(*batchWindow), AckDelay: abcl.Time(*ackDelay),
+		Reliable:           *reliable || *ackDelay > 0,
+		CheckpointInterval: abcl.Time(ckptInterval),
+	})
+	if err != nil {
+		return err
+	}
+	benchMsgs.Store(uint64(res.Ops))
+	fmt.Printf("hotkey: %d clients x %d ops on %d nodes (coverage %s, %d%% writes)\n",
+		*clients, *opsPer, *nodes, cov, *writePct)
+	fmt.Printf("  elapsed       %v\n", res.Elapsed)
+	fmt.Printf("  throughput    %.1f ops/ms\n", res.Throughput)
+	fmt.Printf("  peak overlap  %d concurrent invocations\n", res.MaxLive)
+	fmt.Printf("  final value   %d (= %d writes; %d reads)\n", res.Final, res.Writes, res.Reads)
+	printStats(res.Stats)
+	return nil
+}
+
+func runOrderBook() error {
+	res, err := orderbook.Run(orderbook.Options{
+		Nodes: *nodes, Clients: *clients, Ops: *opsPer,
+		Grouped: *grouped, Reorder: *reorder, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	benchMsgs.Store(uint64(res.Ops))
+	fmt.Printf("orderbook: %d clients x %d ops on %d nodes (grouped=%v)\n",
+		*clients, *opsPer, *nodes, *grouped)
+	fmt.Printf("  elapsed       %v\n", res.Elapsed)
+	fmt.Printf("  throughput    %.1f ops/ms\n", res.Throughput)
+	fmt.Printf("  peak overlap  %d concurrent invocations\n", res.MaxLive)
+	fmt.Printf("  ops           %d reads, %d deposits, %d transfers\n", res.Reads, res.Deposits, res.Transfers)
+	fmt.Printf("  conservation  total %d = initial + deposits %d\n", res.Total, res.WantTotal)
 	printStats(res.Stats)
 	return nil
 }

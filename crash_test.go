@@ -33,7 +33,8 @@ func runQueens(t *testing.T, n int, opts ...abcl.Option) crashRun {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := crashRun{solutions: res.Solutions, elapsed: sys.Elapsed(), stats: sys.Stats()}
+	rep := sys.Report()
+	r := crashRun{solutions: res.Solutions, elapsed: rep.Sched.Elapsed, stats: rep.Sched.Counters}
 	if sys.Trace != nil {
 		for _, e := range sys.Trace.Events() {
 			r.trace = append(r.trace, e.String())
@@ -225,7 +226,7 @@ func TestCrashDuringMigration(t *testing.T) {
 	if got != 30 {
 		t.Errorf("counter after crashed migration = %d, want 30", got)
 	}
-	c := sys.Stats()
+	c := sys.Report().Sched.Counters
 	if c.NodeCrashes != 1 || c.NodeRestarts != 1 {
 		t.Errorf("crashes=%d restarts=%d, want 1/1", c.NodeCrashes, c.NodeRestarts)
 	}
@@ -305,7 +306,7 @@ func TestCheckpointRequiresSupport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sys2.Reliable() {
+	if !sys2.Report().Reliable.Enabled {
 		t.Error("WithCheckpoint did not force reliable delivery")
 	}
 }

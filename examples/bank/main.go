@@ -106,5 +106,5 @@ func main() {
 	if err := sys.Run(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("done at t=%v (final balance %d)\n", sys.Elapsed(), acct.Obj.State(stBalance).Int())
+	fmt.Printf("done at t=%v (final balance %d)\n", sys.Report().Sched.Elapsed, acct.Obj.State(stBalance).Int())
 }

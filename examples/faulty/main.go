@@ -62,11 +62,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	st := sys.Stats()
+	rep := sys.Report()
+	st := rep.Sched.Counters
 	fmt.Printf("ring of %d objects, %d laps, over a lossy interconnect (seed %d)\n",
 		members, laps, sys.Seed())
 	fmt.Printf("  token count     %d (expected %d)\n", total, members*laps)
-	fmt.Printf("  elapsed         %v\n", sys.Elapsed())
+	fmt.Printf("  elapsed         %v\n", rep.Sched.Elapsed)
 	fmt.Printf("  injected        drops=%d dups=%d\n", st.LinkDrops, st.LinkDups)
 	fmt.Printf("  repaired        retransmits=%d dup-suppressed=%d reordered-held=%d\n",
 		st.Retransmits, st.DupSuppressed, st.HeldOutOfOrder)

@@ -54,8 +54,9 @@ func main() {
 	if err := sys.Run(); err != nil {
 		log.Fatal(err)
 	}
+	rep1 := sys.Report()
 	fmt.Printf("phase 1 done at %v (local traffic, %d remote msgs)\n",
-		sys.Elapsed(), sys.Stats().RemoteSends)
+		rep1.Sched.Elapsed, rep1.Sched.Counters.RemoteSends)
 
 	// Phase 2: the workload moved to node 3 — migrate the counter there.
 	if err := sys.Migrate(target, 3, func(a abcl.Address) {
@@ -73,8 +74,9 @@ func main() {
 	if err := sys.Run(); err != nil {
 		log.Fatal(err)
 	}
-	st := sys.Stats()
-	fmt.Printf("phase 3 done at %v\n", sys.Elapsed())
+	rep := sys.Report()
+	st := rep.Sched.Counters
+	fmt.Printf("phase 3 done at %v\n", rep.Sched.Elapsed)
 	fmt.Printf("migrations: %d, forwarded messages: %d (stale-address traffic)\n",
 		st.Migrations, st.Forwards)
 	fmt.Println("note: the forwarder makes old references correct, not fast —")

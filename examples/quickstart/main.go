@@ -59,7 +59,8 @@ func main() {
 	if err := sys.Run(); err != nil {
 		log.Fatal(err)
 	}
-	st := sys.Stats()
+	rep := sys.Report()
+	st := rep.Sched.Counters
 	fmt.Printf("\nfinished at t=%v: %d remote messages, %d local, utilization %.0f%%\n",
-		sys.Elapsed(), st.RemoteSends, st.LocalMessages(), 100*sys.Utilization())
+		rep.Sched.Elapsed, st.RemoteSends, st.LocalMessages(), 100*rep.Sched.Utilization)
 }

@@ -92,9 +92,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	rep := sys.Report()
 	fmt.Printf("%d primes below %d in %v on %d nodes (utilization %.0f%%)\n",
-		len(primes), *max, sys.Elapsed(), *nodes, 100*sys.Utilization())
-	st := sys.Stats()
+		len(primes), *max, rep.Sched.Elapsed, *nodes, 100*rep.Sched.Utilization)
+	st := rep.Sched.Counters
 	fmt.Printf("filters created: %d   messages: local %d (%.0f%% to dormant), remote %d\n",
 		st.Creations()-3, st.LocalMessages(), 100*st.DormantFraction(), st.RemoteSends)
 	if len(primes) < 20 {

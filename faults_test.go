@@ -29,11 +29,12 @@ func runFaulted(t *testing.T, depth int, opts ...abcl.Option) faultRun {
 	if err != nil {
 		t.Fatal(err)
 	}
+	rep := sys.Report()
 	r := faultRun{
 		answer:  answer,
-		elapsed: sys.Elapsed(),
-		packets: sys.Packets(),
-		stats:   sys.Stats(),
+		elapsed: rep.Sched.Elapsed,
+		packets: rep.Wire.Packets,
+		stats:   rep.Sched.Counters,
 	}
 	if sys.Trace != nil {
 		for _, e := range sys.Trace.Events() {

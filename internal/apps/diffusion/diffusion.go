@@ -37,8 +37,8 @@ type Options struct {
 	Seed       int64
 	Faults     abcl.FaultPlan
 
-	// Wire-path options (see abcl.Config): per-link batching window,
-	// delayed cumulative acks, and the reliable protocol they ride on.
+	// Wire-path options: per-link batching window, delayed cumulative acks,
+	// and the reliable protocol they ride on.
 	BatchWindow abcl.Time
 	AckDelay    abcl.Time
 	Reliable    bool
@@ -91,12 +91,28 @@ func Run(opt Options) (Result, error) {
 		work = 40
 	}
 
-	cfg := abcl.Config{
-		Nodes: opt.Nodes, Policy: opt.Policy, Seed: opt.Seed, Faults: opt.Faults,
-		BatchWindow: opt.BatchWindow, AckDelay: opt.AckDelay, Reliable: opt.Reliable,
-		CheckpointInterval: opt.CheckpointInterval,
+	opts := []abcl.Option{abcl.WithNodes(opt.Nodes)}
+	if opt.Policy != abcl.StackBased {
+		opts = append(opts, abcl.WithPolicy(opt.Policy))
 	}
-	opts := cfg.Options()
+	if opt.Seed != 0 {
+		opts = append(opts, abcl.WithSeed(opt.Seed))
+	}
+	if opt.Faults.Enabled() {
+		opts = append(opts, abcl.WithFaults(opt.Faults))
+	}
+	if opt.BatchWindow > 0 {
+		opts = append(opts, abcl.WithBatching(opt.BatchWindow, 0))
+	}
+	if opt.Reliable {
+		opts = append(opts, abcl.WithReliable())
+	}
+	if opt.AckDelay > 0 {
+		opts = append(opts, abcl.WithDelayedAcks(opt.AckDelay))
+	}
+	if opt.CheckpointInterval > 0 {
+		opts = append(opts, abcl.WithCheckpoint(opt.CheckpointInterval))
+	}
 	if opt.Profile != nil {
 		opts = append(opts, abcl.WithProfiler(*opt.Profile))
 	}

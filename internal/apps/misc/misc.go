@@ -206,11 +206,12 @@ func RunAllToAll(o AllToAllOptions) (*AllToAllResult, error) {
 		return nil, err
 	}
 
+	rep := sys.Report()
 	res := &AllToAllResult{
-		Elapsed: sys.Elapsed(),
-		Packets: sys.Packets(),
-		Msgs:    sys.LogicalMsgs(),
-		Stats:   sys.Stats(),
+		Elapsed: rep.Sched.Elapsed,
+		Packets: rep.Wire.Packets,
+		Msgs:    rep.Wire.LogicalMsgs,
+		Stats:   rep.Sched.Counters,
 	}
 	for i := 0; i < p; i++ {
 		res.Delivered += received[i]

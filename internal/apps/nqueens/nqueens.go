@@ -99,21 +99,37 @@ func Run(opt Options) (Result, error) {
 	if placement == nil {
 		placement = abcl.PlaceRandom
 	}
-	cfg := abcl.Config{
-		Nodes:              opt.Nodes,
-		Policy:             opt.Policy,
-		Placement:          placement,
-		Seed:               opt.Seed,
-		StockDepth:         opt.StockDepth,
-		MaxStackDepth:      opt.MaxDepth,
-		Faults:             opt.Faults,
-		BatchWindow:        opt.BatchWindow,
-		BatchMaxBytes:      opt.BatchMaxBytes,
-		Reliable:           opt.Reliable,
-		AckDelay:           opt.AckDelay,
-		CheckpointInterval: opt.CheckpointInterval,
+	opts := []abcl.Option{abcl.WithNodes(opt.Nodes), abcl.WithPlacement(placement)}
+	if opt.Policy != abcl.StackBased {
+		opts = append(opts, abcl.WithPolicy(opt.Policy))
 	}
-	opts := cfg.Options()
+	if opt.Seed != 0 {
+		opts = append(opts, abcl.WithSeed(opt.Seed))
+	}
+	switch {
+	case opt.StockDepth < 0:
+		opts = append(opts, abcl.WithoutChunkStock())
+	case opt.StockDepth > 0:
+		opts = append(opts, abcl.WithChunkStock(opt.StockDepth))
+	}
+	if opt.MaxDepth > 0 {
+		opts = append(opts, abcl.WithMaxStackDepth(opt.MaxDepth))
+	}
+	if opt.Faults.Enabled() {
+		opts = append(opts, abcl.WithFaults(opt.Faults))
+	}
+	if opt.BatchWindow > 0 {
+		opts = append(opts, abcl.WithBatching(opt.BatchWindow, opt.BatchMaxBytes))
+	}
+	if opt.Reliable {
+		opts = append(opts, abcl.WithReliable())
+	}
+	if opt.AckDelay > 0 {
+		opts = append(opts, abcl.WithDelayedAcks(opt.AckDelay))
+	}
+	if opt.CheckpointInterval > 0 {
+		opts = append(opts, abcl.WithCheckpoint(opt.CheckpointInterval))
+	}
 	if opt.Profile != nil {
 		opts = append(opts, abcl.WithProfiler(*opt.Profile))
 	}

@@ -1,0 +1,282 @@
+// Package orderbook implements the bank/order-book contention workload: a
+// single "book" object holds a set of account balances and serves three
+// operation classes with different compatibility:
+//
+//   - balance(acct)            — read-only; grouped as "reads"
+//   - deposit(acct, amt)       — commutative update; grouped as "deposits"
+//   - transfer(from, to, amt)  — read-modify-write across two accounts;
+//     deliberately left ungrouped, so it runs exclusively
+//
+// Every operation appends an entry to a remote audit log before replying,
+// so each invocation blocks for a wire round trip — the window the
+// multiactive scheduler fills with compatible work. Transfers are the
+// correctness anchor: because they stay exclusive they can never interleave
+// with each other, and the total balance is conserved exactly. The
+// workload demonstrates the partial-annotation story of the multiactive
+// model: annotate what is provably compatible, leave the rest serial, and
+// keep serial semantics for the unannotated methods.
+package orderbook
+
+import (
+	"fmt"
+
+	abcl "repro"
+	"repro/internal/sim"
+)
+
+// Options configures a run.
+type Options struct {
+	Nodes    int // processor count (>= 2: book on node 0, audit log remote)
+	Accounts int // balances held by the book (default 8)
+	Clients  int // closed-loop client objects
+	Ops      int // operations per client
+	// TransferPct is the percentage of operations that are transfers
+	// (default 10); DepositPct the percentage that are deposits (default
+	// 30). The rest are balance reads.
+	TransferPct int
+	DepositPct  int
+	Grouped     bool // declare the compatibility groups (false = fully serial book)
+	Reorder     int  // bounded-reordering annotation (0 = strict)
+	Seed        int64
+
+	// Profile, when non-nil, attaches the cost-attribution profiler.
+	Profile *abcl.ProfileOptions
+}
+
+// Result reports a run.
+type Result struct {
+	Ops        int64 // operations completed
+	Reads      int64
+	Deposits   int64
+	Transfers  int64
+	Total      int64 // final sum of balances
+	WantTotal  int64 // initial funds + all deposits
+	MaxLive    int   // peak concurrent invocations at the book
+	AuditLen   int64 // audit-log entries (must equal Ops)
+	Elapsed    sim.Time
+	Throughput float64 // operations per virtual millisecond
+	Stats      abcl.Counters
+	Report     abcl.Report
+}
+
+const initialBalance = 1000
+
+// Run executes the workload and returns the result.
+func Run(opt Options) (Result, error) {
+	if opt.Nodes < 2 {
+		return Result{}, fmt.Errorf("orderbook: need >= 2 nodes, got %d", opt.Nodes)
+	}
+	if opt.Clients < 1 || opt.Ops < 1 {
+		return Result{}, fmt.Errorf("orderbook: clients and ops must be >= 1")
+	}
+	accounts := opt.Accounts
+	if accounts == 0 {
+		accounts = 8
+	}
+	transferPct := opt.TransferPct
+	if transferPct == 0 {
+		transferPct = 10
+	}
+	depositPct := opt.DepositPct
+	if depositPct == 0 {
+		depositPct = 30
+	}
+	if transferPct+depositPct > 100 {
+		return Result{}, fmt.Errorf("orderbook: transfer%%+deposit%% = %d > 100", transferPct+depositPct)
+	}
+
+	opts := []abcl.Option{abcl.WithNodes(opt.Nodes)}
+	if opt.Seed != 0 {
+		opts = append(opts, abcl.WithSeed(opt.Seed))
+	}
+	if opt.Profile != nil {
+		opts = append(opts, abcl.WithProfiler(*opt.Profile))
+	}
+	sys, err := abcl.NewSystem(opts...)
+	if err != nil {
+		return Result{}, err
+	}
+
+	balance := sys.Pattern("ob.balance", 1)   // acct
+	deposit := sys.Pattern("ob.deposit", 2)   // acct, amt
+	transfer := sys.Pattern("ob.transfer", 3) // from, to, amt
+	record := sys.Pattern("ob.record", 1)     // audit entry
+	step := sys.Pattern("ob.step", 1)
+	done := sys.Pattern("ob.done", 0)
+
+	// The audit log: sharded across the non-book nodes like a replicated
+	// journal; every book operation round-trips to one shard before it
+	// replies. Entries are counted host-side for the ledger check.
+	var auditLen int64
+	audit := sys.NewClass("ob.audit", 0, nil).
+		Method(record, func(ctx *abcl.Ctx) {
+			ctx.Charge(300)
+			auditLen++
+			ctx.Reply(abcl.Int(0))
+		})
+	logs := make([]abcl.Address, opt.Nodes-1)
+	for i := range logs {
+		logs[i] = sys.NewObjectOn(i+1, audit)
+	}
+
+	// The book. State: one balance per account, plus a rotating audit-shard
+	// cursor. Updates are applied before the audit round trip, so grouped
+	// deposits (commutative) and exclusive transfers are both exact.
+	cursor := accounts // state index of the shard cursor
+	nextLog := func(ctx *abcl.Ctx) abcl.Address {
+		cur := ctx.State(cursor).Int()
+		ctx.SetState(cursor, abcl.Int(cur+1))
+		return logs[cur%int64(len(logs))]
+	}
+	var reads, deposits, transfers int64
+	maxLive := 0
+	noteLive := func(ctx *abcl.Ctx) {
+		if l := ctx.Self().Obj.LiveInvocations(); l > maxLive {
+			maxLive = l
+		}
+	}
+	book := sys.NewClass("ob.book", accounts+1, func(ic *abcl.InitCtx) {
+		for a := 0; a < accounts; a++ {
+			ic.SetState(a, abcl.Int(initialBalance))
+		}
+		ic.SetState(cursor, abcl.Int(0))
+	}).
+		Method(balance, func(ctx *abcl.Ctx) {
+			noteLive(ctx)
+			acct := int(ctx.Arg(0).Int())
+			ctx.SendNow(nextLog(ctx), record, []abcl.Value{abcl.Int(int64(acct))}, func(ctx *abcl.Ctx, _ abcl.Value) {
+				reads++
+				ctx.Reply(ctx.State(acct))
+			})
+		}).
+		Method(deposit, func(ctx *abcl.Ctx) {
+			noteLive(ctx)
+			acct := int(ctx.Arg(0).Int())
+			amt := ctx.Arg(1).Int()
+			v := ctx.State(acct).Int() + amt
+			ctx.SetState(acct, abcl.Int(v))
+			ctx.SendNow(nextLog(ctx), record, []abcl.Value{abcl.Int(amt)}, func(ctx *abcl.Ctx, _ abcl.Value) {
+				deposits++
+				ctx.Reply(abcl.Int(v))
+			})
+		}).
+		Method(transfer, func(ctx *abcl.Ctx) {
+			noteLive(ctx)
+			if l := ctx.Self().Obj.LiveInvocations(); l > 1 {
+				// Exclusive by construction: the scheduler must never let a
+				// transfer overlap anything else.
+				panic(fmt.Sprintf("orderbook: transfer running with %d live invocations", l))
+			}
+			from := int(ctx.Arg(0).Int())
+			to := int(ctx.Arg(1).Int())
+			amt := ctx.Arg(2).Int()
+			moved := int64(0)
+			if ctx.State(from).Int() >= amt {
+				ctx.SetState(from, abcl.Int(ctx.State(from).Int()-amt))
+				ctx.SetState(to, abcl.Int(ctx.State(to).Int()+amt))
+				moved = amt
+			}
+			ctx.SendNow(nextLog(ctx), record, []abcl.Value{abcl.Int(moved)}, func(ctx *abcl.Ctx, _ abcl.Value) {
+				transfers++
+				ctx.Reply(abcl.Int(moved))
+			})
+		})
+	if opt.Grouped {
+		book.Group("reads", balance).
+			Group("deposits", deposit).
+			Priority("deposits", 1)
+		if opt.Reorder > 0 {
+			book.ReorderBound(opt.Reorder)
+		}
+	}
+	bookAddr := sys.NewObjectOn(0, book)
+
+	// Closed-loop clients with a deterministic (client, op index) mix.
+	finished := 0
+	var collector abcl.Address
+	var wantDeposits int64
+	mix := func(client, i int) (p abcl.Pattern, args []abcl.Value) {
+		h := (client*131 + i*31) % 100
+		acct := (client + i) % accounts
+		switch {
+		case h < transferPct:
+			to := (acct + 1 + i%(accounts-1)) % accounts
+			return transfer, []abcl.Value{abcl.Int(int64(acct)), abcl.Int(int64(to)), abcl.Int(int64(1 + i%50))}
+		case h < transferPct+depositPct:
+			return deposit, []abcl.Value{abcl.Int(int64(acct)), abcl.Int(int64(1 + i%20))}
+		default:
+			return balance, []abcl.Value{abcl.Int(int64(acct))}
+		}
+	}
+	client := sys.NewClass("ob.client", 1, func(ic *abcl.InitCtx) {
+		ic.SetState(0, ic.CtorArg(0)) // client id, fixes the op mix
+	}).
+		Method(step, func(ctx *abcl.Ctx) {
+			rem := ctx.Arg(0).Int()
+			if rem == 0 {
+				ctx.SendPast(collector, done)
+				return
+			}
+			i := opt.Ops - int(rem)
+			p, args := mix(int(ctx.State(0).Int()), i)
+			next := abcl.Int(rem - 1)
+			ctx.SendNow(bookAddr, p, args, func(ctx *abcl.Ctx, _ abcl.Value) {
+				ctx.SendPast(ctx.Self(), step, next)
+			})
+		})
+	coll := sys.NewClass("ob.coll", 0, nil).
+		Method(done, func(ctx *abcl.Ctx) { finished++ })
+	collector = sys.NewObjectOn(0, coll)
+
+	for ci := 0; ci < opt.Clients; ci++ {
+		node := 1 + ci%(opt.Nodes-1)
+		c := sys.NewObjectOn(node, client, abcl.Int(int64(ci)))
+		sys.Send(c, step, abcl.Int(int64(opt.Ops)))
+	}
+	// Deposits are deterministic from the mix; pre-compute the expected total.
+	for ci := 0; ci < opt.Clients; ci++ {
+		for i := 0; i < opt.Ops; i++ {
+			if p, args := mix(ci, i); p == deposit {
+				wantDeposits += args[1].Int()
+			}
+		}
+	}
+
+	if err := sys.Run(); err != nil {
+		return Result{}, err
+	}
+	if finished != opt.Clients {
+		return Result{}, fmt.Errorf("orderbook: %d of %d clients finished", finished, opt.Clients)
+	}
+	var total int64
+	for a := 0; a < accounts; a++ {
+		total += bookAddr.Obj.State(a).Int()
+	}
+	rep := sys.Report()
+	res := Result{
+		Ops:       reads + deposits + transfers,
+		Reads:     reads,
+		Deposits:  deposits,
+		Transfers: transfers,
+		Total:     total,
+		WantTotal: int64(accounts)*initialBalance + wantDeposits,
+		MaxLive:   maxLive,
+		AuditLen:  auditLen,
+		Elapsed:   rep.Sched.Elapsed,
+		Stats:     rep.Sched.Counters,
+		Report:    rep,
+	}
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Ops) / (float64(res.Elapsed) / 1e6)
+	}
+	if res.Ops != int64(opt.Clients)*int64(opt.Ops) {
+		return res, fmt.Errorf("orderbook: completed %d ops, want %d", res.Ops, int64(opt.Clients)*int64(opt.Ops))
+	}
+	if res.Total != res.WantTotal {
+		return res, fmt.Errorf("orderbook: funds not conserved: total %d, want %d", res.Total, res.WantTotal)
+	}
+	if res.AuditLen != res.Ops {
+		return res, fmt.Errorf("orderbook: audit log has %d entries, want %d", res.AuditLen, res.Ops)
+	}
+	return res, nil
+}

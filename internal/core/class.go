@@ -34,6 +34,17 @@ type Class struct {
 	active    *VFT
 	initTable *VFT
 	waitCache map[string]*VFT
+
+	// Multiactive declarations (Group / Priority / ReorderBound). Declaring
+	// any compatibility group makes the class multiactive: its objects keep
+	// the single multiTable for their whole life and schedule through
+	// per-group ready queues (see multi.go).
+	groups        []groupDef
+	reorderBound  int
+	patGroup      []int // dense after freeze: PatternID -> ready-queue index
+	multiTable    *VFT
+	multiOrder    []int // queue scan order: priority desc, declaration order
+	exclusiveProf int   // profiler id of the implicit exclusive queue; -1 off
 }
 
 // Method attaches a method body for a pattern. It returns the class for
@@ -100,6 +111,9 @@ func (c *Class) buildTables(npat int) {
 		c.active.entries[p] = entry{entryQueue, queueEntry}
 	}
 	c.waitCache = make(map[string]*VFT)
+	if len(c.groups) > 0 {
+		c.buildMulti(npat)
+	}
 }
 
 // waitingVFT returns (building and caching on first use) the table for a

@@ -149,6 +149,12 @@ func (c *Ctx) WaitFor(k func(*Ctx, *Frame), pats ...PatternID) {
 	if len(pats) == 0 {
 		panic("core: WaitFor with empty pattern set")
 	}
+	if c.self.multi != nil {
+		// Selective reception relies on the serial message queue and the
+		// waiting-mode table switch; a multiactive object has neither.
+		panic(fmt.Sprintf("core: WaitFor on multiactive class %s: selective reception requires serial semantics",
+			c.self.class.Name))
+	}
 	n := c.rt
 	prev := n.curPath
 	n.curPath = profile.Restore
@@ -207,9 +213,7 @@ func (c *Ctx) Yield(k func(*Ctx)) {
 	n.C.HeapFrames++
 	n.curPath = profile.Sched
 	n.charge(n.cost.SaveContext)
-	c.self.resumeK = k
-	c.self.resumeF = c.f
-	n.enqueueSched(c.self)
+	n.deferResume(c.self, c.f, k)
 	c.blocked = true
 }
 
@@ -247,7 +251,5 @@ func (n *NodeRT) ResumeSaved(obj *Object, frame *Frame, k func(*Ctx)) {
 	n.C.HeapFrames++
 	n.curPath = profile.Create
 	n.charge(n.cost.SaveContext)
-	obj.resumeK = k
-	obj.resumeF = frame
-	n.enqueueSched(obj)
+	n.deferResume(obj, frame, k)
 }

@@ -25,6 +25,10 @@ type Object struct {
 	resumeK func(*Ctx)
 	resumeF *Frame
 
+	// multi is non-nil for objects of multiactive classes: live-invocation
+	// counts, per-group ready queues, and deferred continuations.
+	multi *multiState
+
 	// rd is non-nil for reply destination objects.
 	rd *replyState
 
@@ -55,6 +59,8 @@ func (o *Object) Mode() Mode {
 			return ModeUninit
 		case o.class.Init != nil:
 			return ModeNeedInit
+		case o.class.Multiactive():
+			return ModeMultiactive
 		default:
 			return ModeDormant
 		}
@@ -67,6 +73,24 @@ func (o *Object) Addr() Address { return Address{Node: o.node, Obj: o} }
 
 // QueueLen returns the number of buffered messages.
 func (o *Object) QueueLen() int { return o.queue.len() }
+
+// ReadyLen returns the number of frames parked in the multiactive ready
+// queues (zero for serial objects).
+func (o *Object) ReadyLen() int {
+	if o.multi == nil {
+		return 0
+	}
+	return o.multi.readyN
+}
+
+// LiveInvocations returns the number of live (running or blocked)
+// invocations on a multiactive object (zero for serial objects).
+func (o *Object) LiveInvocations() int {
+	if o.multi == nil {
+		return 0
+	}
+	return o.multi.totalLive
+}
 
 // State reads state variable i directly; intended for tests and drivers
 // inspecting a quiescent system, not for method bodies (use Ctx.State).

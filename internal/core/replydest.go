@@ -62,9 +62,7 @@ func replyEntry(n *NodeRT, obj *Object, f *Frame) {
 	if n.stackDepth >= n.rt.maxStackDepth {
 		n.C.Preemptions++
 		n.charge(n.cost.SaveContext)
-		w.resumeK = func(ctx *Ctx) { k(ctx, v) }
-		w.resumeF = wf
-		n.enqueueSched(w)
+		n.deferResume(w, wf, func(ctx *Ctx) { k(ctx, v) })
 		return
 	}
 	n.charge(n.cost.RestoreContext)

@@ -185,6 +185,12 @@ func (r *Runtime) Freeze() {
 		c.buildTables(npat)
 		if r.prof != nil {
 			r.prof.RegisterClass(c.id, c.Name)
+			if c.Multiactive() {
+				for gi := range c.groups {
+					c.groups[gi].profID = r.prof.RegisterGroup(c.Name, c.groups[gi].name)
+				}
+				c.exclusiveProf = r.prof.RegisterGroup(c.Name, "(exclusive)")
+			}
 		}
 	}
 	// Native table for reply destinations: only reply: is understood.
@@ -210,12 +216,20 @@ func (r *Runtime) Freeze() {
 	r.pending = nil
 }
 
-// assignInitialVFT points a fresh object at its class's initial table.
+// assignInitialVFT points a fresh object at its class's initial table and
+// allocates the multiactive scheduling state when the class declares groups.
 func assignInitialVFT(obj *Object) {
-	if obj.class.Init != nil {
-		obj.vftp = obj.class.initTable
-	} else {
-		obj.vftp = obj.class.dormant
+	cl := obj.class
+	if cl.multiTable != nil && obj.multi == nil {
+		obj.multi = newMultiState(cl)
+	}
+	switch {
+	case cl.Init != nil:
+		obj.vftp = cl.initTable
+	case cl.multiTable != nil:
+		obj.vftp = cl.multiTable
+	default:
+		obj.vftp = cl.dormant
 	}
 }
 
@@ -302,11 +316,7 @@ func (r *Runtime) InitChunk(n *NodeRT, obj *Object, cl *Class, ctorArgs []Value)
 	if cl.StateSize > 0 {
 		obj.state = n.allocState(cl.StateSize)
 	}
-	if cl.Init != nil {
-		obj.vftp = cl.initTable
-	} else {
-		obj.vftp = cl.dormant
-	}
+	assignInitialVFT(obj)
 	if !obj.queue.empty() {
 		n.enqueueSched(obj)
 	}
@@ -326,6 +336,15 @@ func (r *Runtime) Inject(to Address, p PatternID, args ...Value) {
 	e := obj.vftp.lookup(p)
 	if e.fn == nil {
 		panic(n.notUnderstood(obj, p))
+	}
+	if e.kind == entryMulti {
+		qi := obj.class.queueIndex(p)
+		obj.multi.buffer(qi, f)
+		if obj.multi.canStart(qi) {
+			n.enqueueSched(obj)
+		}
+		n.node.Wake()
+		return
 	}
 	obj.queue.push(f)
 	if n.frameDispatchable(obj, e.kind) {

@@ -287,6 +287,23 @@ func (n *NodeRT) naiveDeliver(obj *Object, f *Frame, remoteIn bool) {
 	if n.prof != nil {
 		n.profDeliver(obj, e.kind, n.curPath)
 	}
+	if e.kind == entryMulti {
+		// Multiactive receivers buffer into their group ready queues even
+		// under the naive policy; the scheduler performs the compatibility
+		// check at dispatch time.
+		qi := obj.class.queueIndex(f.Pattern)
+		n.charge(n.cost.GroupCheck + n.cost.FrameAlloc + n.cost.StoreMessage +
+			n.cost.EnqueueMsgQ)
+		obj.multi.buffer(qi, f)
+		n.C.MultiParked++
+		if n.prof != nil {
+			n.prof.GroupEvent(obj.class.profGroupID(qi), profile.GroupParked)
+		}
+		if obj.multi.canStart(qi) {
+			n.enqueueSched(obj)
+		}
+		return
+	}
 	n.charge(n.cost.FrameAlloc + n.cost.StoreMessage + n.cost.EnqueueMsgQ)
 	obj.queue.push(f)
 	if n.frameDispatchable(obj, e.kind) {
@@ -308,6 +325,8 @@ func (n *NodeRT) countDelivery(k EntryKind, remoteIn bool) {
 		n.C.LocalToActive++
 	case entryRestore:
 		n.C.LocalRestores++
+	case entryMulti:
+		n.C.LocalToMulti++
 	case entryFault:
 		// counted by faultEntry
 	case entryNative:
@@ -328,6 +347,8 @@ func deliveryPath(k EntryKind, remoteIn bool) profile.Path {
 		return profile.LocalActive
 	case entryRestore:
 		return profile.Restore
+	case entryMulti:
+		return profile.Multi
 	case entryNative:
 		return profile.NowBlocked
 	case entryFault:
@@ -356,6 +377,8 @@ func (n *NodeRT) profDeliver(obj *Object, k EntryKind, p profile.Path) {
 		n.prof.ClassDeliver(obj.class.id, profile.DeliverActive)
 	case entryRestore:
 		n.prof.ClassDeliver(obj.class.id, profile.DeliverRestore)
+	case entryMulti:
+		n.prof.ClassDeliver(obj.class.id, profile.DeliverMulti)
 	}
 }
 
@@ -397,9 +420,16 @@ func (n *NodeRT) Step() bool {
 	// Classify the dispatch for attribution by pure inspection before the
 	// dequeue charge: saved continuations and waiting objects are context
 	// restorations; everything else is a queued (active-mode) dispatch.
-	if obj.resumeK != nil || obj.wait != nil {
+	switch {
+	case obj.resumeK != nil || obj.wait != nil:
 		n.curPath = profile.Restore
-	} else {
+	case obj.multi != nil:
+		if len(obj.multi.resume) > 0 {
+			n.curPath = profile.Restore
+		} else {
+			n.curPath = profile.Multi
+		}
+	default:
 		n.curPath = profile.LocalActive
 	}
 	n.charge(n.cost.DequeueDispatch)
@@ -432,7 +462,12 @@ func (n *NodeRT) Step() bool {
 	default:
 		f := obj.queue.pop()
 		if f == nil {
-			break // spurious wakeup; nothing to do
+			if obj.multi != nil {
+				// Multiactive objects park work in their group ready queues,
+				// not the serial message queue.
+				n.multiDispatch(obj)
+			}
+			break // serial: spurious wakeup; nothing to do
 		}
 		e := obj.vftp.lookup(f.Pattern)
 		switch e.kind {
@@ -446,6 +481,12 @@ func (n *NodeRT) Step() bool {
 			panic(n.notUnderstood(obj, f.Pattern))
 		default:
 			e.fn(n, obj, f)
+			if obj.multi != nil {
+				// Pre-initialization frames of a multiactive object drain
+				// through the serial queue; keep draining (and pick up any
+				// parked ready frames) until both are empty.
+				n.multiReschedule(obj)
+			}
 		}
 	}
 	return !n.schedQ.empty()
@@ -475,6 +516,7 @@ func (n *NodeRT) enqueueSched(obj *Object) {
 // and the object either returns to dormant mode or re-enqueues itself.
 func (n *NodeRT) invokeBody(obj *Object, f *Frame, body MethodFunc) {
 	prevPath := n.curPath // nested sends inside the body overwrite the register
+	wasRunning := obj.running // nested multiactive invocations stack
 	obj.running = true
 	n.stackDepth++
 	if n.stackDepth > n.maxDepth {
@@ -483,14 +525,18 @@ func (n *NodeRT) invokeBody(obj *Object, f *Frame, body MethodFunc) {
 	ctx := n.acquireCtx(obj, f)
 	body(ctx)
 	n.stackDepth--
-	obj.running = false
+	obj.running = wasRunning
 	n.curPath = prevPath
 	h := f.hints
 	if h&HintLeafMethod != 0 && (ctx.acted || ctx.blocked) {
 		panic("core: HintLeafMethod violated: the method sent, created, blocked, or yielded")
 	}
 	if !ctx.blocked {
-		n.methodEndHinted(obj, h)
+		if obj.multi != nil {
+			n.multiMethodEnd(obj, f)
+		} else {
+			n.methodEndHinted(obj, h)
+		}
 		n.releaseFrame(f)
 		n.releaseCtx(ctx)
 	}
@@ -504,6 +550,7 @@ func (n *NodeRT) invokeBody(obj *Object, f *Frame, body MethodFunc) {
 // invokeBody but without the poll/return epilogue of a fresh invocation.
 func (n *NodeRT) runCont(obj *Object, frame *Frame, k func(*Ctx)) {
 	prevPath := n.curPath
+	wasRunning := obj.running
 	obj.running = true
 	n.stackDepth++
 	if n.stackDepth > n.maxDepth {
@@ -512,10 +559,14 @@ func (n *NodeRT) runCont(obj *Object, frame *Frame, k func(*Ctx)) {
 	ctx := n.acquireCtx(obj, frame)
 	k(ctx)
 	n.stackDepth--
-	obj.running = false
+	obj.running = wasRunning
 	n.curPath = prevPath
 	if !ctx.blocked {
-		n.methodEnd(obj)
+		if obj.multi != nil {
+			n.multiMethodEnd(obj, frame)
+		} else {
+			n.methodEnd(obj)
+		}
 		n.releaseFrame(frame)
 		n.releaseCtx(ctx)
 	}
@@ -593,8 +644,12 @@ func makeInitEntry(cl *Class, p PatternID) entryFunc {
 			cl.Init(&InitCtx{obj: obj, args: obj.ctorArgs})
 		}
 		obj.ctorArgs = nil
-		obj.vftp = cl.dormant
-		cl.dormant.entries[p].fn(n, obj, f)
+		tbl := cl.dormant
+		if cl.multiTable != nil {
+			tbl = cl.multiTable
+		}
+		obj.vftp = tbl
+		tbl.entries[p].fn(n, obj, f)
 	}
 }
 

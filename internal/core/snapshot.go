@@ -80,12 +80,26 @@ type objImage struct {
 	rd       replyState
 	isRD     bool
 	forward  Address
+	multi    *multiImage
 }
 
 type waitImage struct {
 	pats  []PatternID
 	k     func(*Ctx, *Frame)
 	frame *Frame
+}
+
+// multiImage is the captured multiactive scheduling state of one object:
+// live-invocation counts, the per-group ready queues (frames by reference,
+// immortalized), overtake counters and deferred continuations. Group queues
+// are runtime state like the serial message queue, so a restart mid-group
+// resumes with the same live set and parked work.
+type multiImage struct {
+	live      []int
+	totalLive int
+	ready     [][]*Frame
+	overtake  []uint32
+	resume    []savedCont
 }
 
 // NodeImage is one node's language-level snapshot.
@@ -192,6 +206,26 @@ func (r *Runtime) CaptureNode(node int, codec SnapshotCodec) *NodeImage {
 			oi.rd = *o.rd
 			b += replyDestBytes + immortalize(o.rd.waiterF)
 		}
+		if o.multi != nil {
+			mi := &multiImage{
+				live:      append([]int(nil), o.multi.live...),
+				totalLive: o.multi.totalLive,
+				ready:     make([][]*Frame, len(o.multi.ready)),
+				overtake:  append([]uint32(nil), o.multi.overtake...),
+			}
+			for qi := range o.multi.ready {
+				for f := o.multi.ready[qi].head; f != nil; f = f.next {
+					b += immortalize(f)
+					mi.ready[qi] = append(mi.ready[qi], f)
+				}
+			}
+			for _, sc := range o.multi.resume {
+				b += savedCtxBytes + immortalize(sc.frame)
+			}
+			mi.resume = append([]savedCont(nil), o.multi.resume...)
+			b += 8 * len(o.multi.live) // live + overtake counter words
+			oi.multi = mi
+		}
 		img.bytes += b
 		img.objs = append(img.objs, oi)
 	}
@@ -254,6 +288,25 @@ func (r *Runtime) RestoreNode(img *NodeImage, codec SnapshotCodec) {
 		o.resumeK, o.resumeF = oi.resumeK, oi.resumeF
 		if oi.isRD {
 			*o.rd = oi.rd
+		}
+		if oi.multi != nil {
+			ms := o.multi
+			if ms == nil { // defensive: class is fixed, so this can't normally happen
+				ms = newMultiState(oi.class)
+				o.multi = ms
+			}
+			copy(ms.live, oi.multi.live)
+			ms.totalLive = oi.multi.totalLive
+			copy(ms.overtake, oi.multi.overtake)
+			ms.readyN = 0
+			for qi := range ms.ready {
+				ms.ready[qi] = frameQueue{}
+				for _, f := range oi.multi.ready[qi] {
+					ms.ready[qi].push(f)
+					ms.readyN++
+				}
+			}
+			ms.resume = append(ms.resume[:0:0], oi.multi.resume...)
 		}
 		o.forward = oi.forward
 	}

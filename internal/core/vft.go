@@ -20,6 +20,12 @@ const (
 	// ModeNeedInit: created but state variables not yet initialized; the
 	// first message triggers lazy initialization (Section 4.2).
 	ModeNeedInit
+	// ModeMultiactive: the object's class declares compatibility groups and
+	// several mutually compatible invocations may be live at once. The object
+	// keeps this single table for its whole life: every entry performs a
+	// runtime compatibility check against the live-invocation counts instead
+	// of the serial scheme's table switches.
+	ModeMultiactive
 )
 
 func (m Mode) String() string {
@@ -34,6 +40,8 @@ func (m Mode) String() string {
 		return "uninit"
 	case ModeNeedInit:
 		return "needinit"
+	case ModeMultiactive:
+		return "multiactive"
 	default:
 		return "mode(?)"
 	}
@@ -53,6 +61,7 @@ const (
 	entryFault                    // generic fault table: class-independent queuing
 	entryNative                   // runtime-internal (reply destinations)
 	entryForward                  // forwarder installed by object migration
+	entryMulti                    // multiactive table: compatibility-checked dispatch
 )
 
 // entryFunc is a virtual-function-table procedure: it receives the runtime

@@ -36,6 +36,12 @@ type Cost struct {
 	ReplyDestAlloc int // allocating the reply destination object
 	SwitchVFTPWait int // switching to a waiting-mode table
 
+	// Multiactive scheduling: the per-delivery compatibility check against
+	// the receiver's live-invocation counts. Multiactive objects never switch
+	// their table pointer, so this replaces the VFTP-switch pair of the
+	// serial dormant path.
+	GroupCheck int
+
 	// Object creation.
 	CreateLocal int // local object allocation + header init (~2.1µs)
 	InitObject  int // lazy state-variable initialization on first message
@@ -96,6 +102,7 @@ func DefaultCost() Cost {
 		ReplyCheck:     4,
 		ReplyDestAlloc: 6,
 		SwitchVFTPWait: 3,
+		GroupCheck:     4,
 
 		CreateLocal: 23,
 		InitObject:  6,

@@ -40,6 +40,7 @@ const (
 	Ckpt                     // checkpoint capture/restore and marker traffic
 	Retransmit               // reliable-protocol retransmissions
 	Ack                      // reliable-protocol acknowledgment traffic
+	Multi                    // multiactive dispatch: group checks, ready queues
 	NumPaths
 )
 
@@ -58,6 +59,7 @@ var pathNames = [NumPaths]string{
 	Ckpt:         "ckpt",
 	Retransmit:   "retransmit",
 	Ack:          "ack",
+	Multi:        "multi",
 }
 
 func (p Path) String() string {
@@ -104,7 +106,8 @@ type NodeProf struct {
 	stable  uint64
 
 	classInstr []uint64    // per class id: method-body instructions
-	classDeliv [][3]uint64 // per class id: dormant/active/restore deliveries
+	classDeliv [][4]uint64 // per class id: dormant/active/restore/multi deliveries
+	groups     [][3]uint64 // per registered group id: started/parked/dispatched
 
 	slices []Slice
 }
@@ -114,6 +117,14 @@ const (
 	DeliverDormant = 0
 	DeliverActive  = 1
 	DeliverRestore = 2
+	DeliverMulti   = 3
+)
+
+// Group event kinds for GroupEvent.
+const (
+	GroupStarted    = 0 // a compatible invocation began immediately
+	GroupParked     = 1 // a conflicting invocation was buffered in the ready queue
+	GroupDispatched = 2 // a parked invocation was dispatched by the scheduler
 )
 
 // ChargeInstr attributes instr simulated instructions to path p at time at.
@@ -181,10 +192,23 @@ func (np *NodeProf) ClassInstr(cls int, instr int) {
 	np.classInstr[cls] += uint64(instr)
 }
 
+// GroupEvent counts one multiactive scheduling event for the registered
+// group gid (GroupStarted/GroupParked/GroupDispatched). Group ids come from
+// Profiler.RegisterGroup; gid < 0 (no profiler registration) is ignored.
+func (np *NodeProf) GroupEvent(gid int, kind int) {
+	if gid < 0 {
+		return
+	}
+	for len(np.groups) <= gid {
+		np.groups = append(np.groups, [3]uint64{})
+	}
+	np.groups[gid][kind]++
+}
+
 func (np *NodeProf) growClass(cls int) {
 	for len(np.classInstr) <= cls {
 		np.classInstr = append(np.classInstr, 0)
-		np.classDeliv = append(np.classDeliv, [3]uint64{})
+		np.classDeliv = append(np.classDeliv, [4]uint64{})
 	}
 }
 
@@ -204,6 +228,12 @@ type Profiler struct {
 	opt        Options
 	nodes      []NodeProf
 	classNames []string
+	groupNames []groupName
+}
+
+type groupName struct {
+	class string
+	group string
 }
 
 // New builds a profiler for a machine of n nodes.
@@ -228,6 +258,14 @@ func (p *Profiler) RegisterClass(id int, name string) {
 	p.classNames[id] = name
 }
 
+// RegisterGroup records one compatibility group of a multiactive class and
+// returns its dense group id, used by NodeProf.GroupEvent. Called by the
+// runtime at freeze, so ids are identical across same-program runs.
+func (p *Profiler) RegisterGroup(class, group string) int {
+	p.groupNames = append(p.groupNames, groupName{class: class, group: group})
+	return len(p.groupNames) - 1
+}
+
 // PathStat is one row of the per-path cost table.
 type PathStat struct {
 	Path          string  `json:"path"`
@@ -247,7 +285,20 @@ type ClassStat struct {
 	Dormant   uint64 `json:"dormant"`
 	Active    uint64 `json:"active"`
 	Restore   uint64 `json:"restore"`
+	Multi     uint64 `json:"multi,omitempty"`
 	BodyInstr uint64 `json:"body_instr"`
+}
+
+// GroupStat is one row of the per-group table of a multiactive class:
+// invocations that started immediately (compatible with everything live),
+// that were parked in the group's ready queue by a conflict, and parked ones
+// later dispatched through the scheduler.
+type GroupStat struct {
+	Class      string `json:"class"`
+	Group      string `json:"group"`
+	Started    uint64 `json:"started"`
+	Parked     uint64 `json:"parked"`
+	Dispatched uint64 `json:"dispatched"`
 }
 
 // NodeStat is one node's attribution totals.
@@ -268,6 +319,7 @@ type Report struct {
 	DormantFraction float64     `json:"dormant_fraction"`
 	Paths           []PathStat  `json:"paths"`
 	Classes         []ClassStat `json:"classes,omitempty"`
+	Groups          []GroupStat `json:"groups,omitempty"`
 	Slices          []Slice     `json:"slices,omitempty"`
 	Nodes           []NodeStat  `json:"nodes,omitempty"`
 }
@@ -319,8 +371,31 @@ func (p *Profiler) Report() *Report {
 		r.DormantFraction = float64(events[LocalDormant]) / float64(local)
 	}
 	r.Classes = p.classReport()
+	r.Groups = p.groupReport()
 	r.Slices = p.mergeSlices()
 	return r
+}
+
+// groupReport aggregates the per-group accumulators across nodes. Rows appear
+// in registration (freeze) order; groups with no activity are kept so a
+// contention study sees every declared group, active or idle.
+func (p *Profiler) groupReport() []GroupStat {
+	if len(p.groupNames) == 0 {
+		return nil
+	}
+	out := make([]GroupStat, len(p.groupNames))
+	for gid, gn := range p.groupNames {
+		out[gid] = GroupStat{Class: gn.class, Group: gn.group}
+		for i := range p.nodes {
+			np := &p.nodes[i]
+			if gid < len(np.groups) {
+				out[gid].Started += np.groups[gid][GroupStarted]
+				out[gid].Parked += np.groups[gid][GroupParked]
+				out[gid].Dispatched += np.groups[gid][GroupDispatched]
+			}
+		}
+	}
+	return out
 }
 
 func (p *Profiler) classReport() []ClassStat {
@@ -346,9 +421,10 @@ func (p *Profiler) classReport() []ClassStat {
 				cs.Dormant += np.classDeliv[cls][DeliverDormant]
 				cs.Active += np.classDeliv[cls][DeliverActive]
 				cs.Restore += np.classDeliv[cls][DeliverRestore]
+				cs.Multi += np.classDeliv[cls][DeliverMulti]
 			}
 		}
-		if cs.BodyInstr == 0 && cs.Dormant == 0 && cs.Active == 0 && cs.Restore == 0 {
+		if cs.BodyInstr == 0 && cs.Dormant == 0 && cs.Active == 0 && cs.Restore == 0 && cs.Multi == 0 {
 			continue
 		}
 		out = append(out, cs)

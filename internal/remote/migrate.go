@@ -41,6 +41,11 @@ func (l *Layer) Migrate(obj *core.Object, target int, onDone func(core.Address))
 	if cl == nil {
 		return fmt.Errorf("remote: cannot migrate an uninitialized chunk")
 	}
+	if cl.Multiactive() {
+		// The transfer protocol assumes a quiescent serial object; a
+		// multiactive object's live-invocation set cannot ride the wire.
+		return fmt.Errorf("remote: cannot migrate multiactive object of class %s", cl.Name)
+	}
 	n := l.rt.NodeRT(src)
 	c := l.cost()
 

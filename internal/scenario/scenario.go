@@ -21,6 +21,7 @@ import (
 
 	abcl "repro"
 	"repro/internal/apps/diffusion"
+	"repro/internal/apps/hotkey"
 	"repro/internal/apps/misc"
 	"repro/internal/apps/nqueens"
 	"repro/internal/sim"
@@ -120,15 +121,18 @@ type Assert struct {
 // Spec is one declarative scenario.
 type Spec struct {
 	Name     string `json:"name"`
-	Workload string `json:"workload"` // nqueens | forkjoin | diffusion
+	Workload string `json:"workload"` // nqueens | forkjoin | diffusion | hotkey
 	Nodes    int    `json:"nodes"`
 	Seed     int64  `json:"seed,omitempty"`
 
 	// Workload parameters (each workload reads its own).
-	N     int `json:"n,omitempty"`     // nqueens board size
-	Depth int `json:"depth,omitempty"` // forkjoin tree depth
-	Grid  int `json:"grid,omitempty"`  // diffusion grid edge
-	Iters int `json:"iters,omitempty"` // diffusion iterations
+	N        int    `json:"n,omitempty"`        // nqueens board size
+	Depth    int    `json:"depth,omitempty"`    // forkjoin tree depth
+	Grid     int    `json:"grid,omitempty"`     // diffusion grid edge
+	Iters    int    `json:"iters,omitempty"`    // diffusion iterations
+	Clients  int    `json:"clients,omitempty"`  // hotkey client objects
+	Ops      int    `json:"ops,omitempty"`      // hotkey operations per client
+	Coverage string `json:"coverage,omitempty"` // hotkey annotation coverage: none|partial|full
 
 	// Wire-path options, applied to the baseline and the faulted run alike
 	// so the two runs stay comparable. A positive AckDelayNs forces the
@@ -165,6 +169,15 @@ func (sp Spec) Validate() error {
 	}
 	switch sp.Workload {
 	case "nqueens", "forkjoin", "diffusion":
+	case "hotkey":
+		if sp.Nodes < 2 {
+			return fmt.Errorf("scenario %s: hotkey needs >= 2 nodes", sp.Name)
+		}
+		if sp.Coverage != "" {
+			if _, err := hotkey.ParseCoverage(sp.Coverage); err != nil {
+				return fmt.Errorf("scenario %s: %w", sp.Name, err)
+			}
+		}
 	default:
 		return fmt.Errorf("scenario %s: unknown workload %q", sp.Name, sp.Workload)
 	}
@@ -333,6 +346,37 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 			Packets: rep.Wire.Packets,
 			Stats:   rep.Sched.Counters,
 			Profile: rep.Profile,
+		}, nil
+	case "hotkey":
+		clients, ops := sp.Clients, sp.Ops
+		if clients == 0 {
+			clients = 8
+		}
+		if ops == 0 {
+			ops = 20
+		}
+		cov := hotkey.CoverFull
+		if sp.Coverage != "" {
+			cov, _ = hotkey.ParseCoverage(sp.Coverage) // validated by Validate
+		}
+		res, err := hotkey.Run(hotkey.Options{
+			Nodes: sp.Nodes, Clients: clients, Ops: ops,
+			Coverage: cov, Seed: seed, Faults: plan,
+			BatchWindow: batch, AckDelay: ackDelay, Reliable: ackDelay > 0,
+			CheckpointInterval: ckpt,
+			Profile:            prof,
+		})
+		if err != nil {
+			return RunResult{}, err
+		}
+		return RunResult{
+			// The op ledger and final value are interleaving-independent, so
+			// they stay comparable between the baseline and the faulted run
+			// even though faults reorder the overlapped invocations.
+			Answer:  fmt.Sprintf("ops=%d final=%d", res.Ops, res.Final),
+			Elapsed: res.Elapsed,
+			Stats:   res.Stats,
+			Profile: res.Report.Profile,
 		}, nil
 	case "diffusion":
 		grid, iters := sp.Grid, sp.Iters

@@ -14,6 +14,7 @@ type Counters struct {
 	LocalToDormant uint64 // invoked immediately on the sender's stack
 	LocalToActive  uint64 // buffered via a queuing procedure
 	LocalRestores  uint64 // awaited message restoring a waiting object
+	LocalToMulti   uint64 // delivered to a multiactive (grouped) receiver
 
 	// Inter-node traffic.
 	RemoteSends    uint64 // category-1 messages sent
@@ -77,6 +78,12 @@ type Counters struct {
 	SchedDequeues uint64
 	Preemptions   uint64 // deep-recursion or explicit yields
 	HeapFrames    uint64 // contexts saved to heap frames
+
+	// Multiactive scheduling (compatibility groups).
+	MultiImmediate  uint64 // compatible invocations started on the sender's stack
+	MultiParked     uint64 // conflicting invocations buffered in a group ready queue
+	MultiDispatches uint64 // parked invocations dispatched through the scheduler
+	MultiOvertakes  uint64 // bounded-reordering precedence overrides
 }
 
 // Add accumulates o into c. It sums every uint64 field via reflection so a
@@ -95,7 +102,7 @@ func (c *Counters) Add(o *Counters) {
 
 // LocalMessages returns the count of intra-node object-to-object sends.
 func (c *Counters) LocalMessages() uint64 {
-	return c.LocalToDormant + c.LocalToActive + c.LocalRestores
+	return c.LocalToDormant + c.LocalToActive + c.LocalRestores + c.LocalToMulti
 }
 
 // TotalMessages returns all object-to-object message sends (local sends plus

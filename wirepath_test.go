@@ -43,7 +43,7 @@ func TestWirePathDefaultsInert(t *testing.T) {
 	if res.Solutions != 40 {
 		t.Fatalf("N=7 solutions = %d, want 40", res.Solutions)
 	}
-	c := sys.Stats()
+	c := sys.Report().Sched.Counters
 	if c.BatchesSent != 0 || c.BatchedMsgs != 0 {
 		t.Errorf("default run sent %d batches (%d records), want none", c.BatchesSent, c.BatchedMsgs)
 	}
@@ -54,12 +54,13 @@ func TestWirePathDefaultsInert(t *testing.T) {
 		t.Errorf("location cache active without migration: hits=%d misses=%d inval=%d",
 			c.LocCacheHits, c.LocCacheMisses, c.LocCacheInvalidates)
 	}
-	if w, b := sys.BatchWindow(); w != 0 || b != 0 {
-		t.Errorf("BatchWindow() = (%v, %d), want zeroes", w, b)
+	wire := sys.Report().Wire
+	if wire.BatchWindow != 0 || wire.BatchMaxBytes != 0 {
+		t.Errorf("batch window = (%v, %d), want zeroes", wire.BatchWindow, wire.BatchMaxBytes)
 	}
-	if sys.Packets() != sys.LogicalMsgs() {
+	if wire.Packets != wire.LogicalMsgs {
 		t.Errorf("packets=%d logical msgs=%d: unbatched runs must map 1:1",
-			sys.Packets(), sys.LogicalMsgs())
+			wire.Packets, wire.LogicalMsgs)
 	}
 }
 
@@ -74,13 +75,14 @@ func TestWirePathEquivalence(t *testing.T) {
 	if resA != resB {
 		t.Errorf("WithoutLocationCache changed the result:\n%+v\nvs\n%+v", resA, resB)
 	}
-	if a, b := sysA.Elapsed(), sysB.Elapsed(); a != b {
+	repA, repB := sysA.Report(), sysB.Report()
+	if a, b := repA.Sched.Elapsed, repB.Sched.Elapsed; a != b {
 		t.Errorf("elapsed differs: %v vs %v", a, b)
 	}
-	if a, b := sysA.Stats(), sysB.Stats(); a != b {
+	if a, b := repA.Sched.Counters, repB.Sched.Counters; a != b {
 		t.Errorf("counters differ:\n%+v\nvs\n%+v", a, b)
 	}
-	if a, b := sysA.Packets(), sysB.Packets(); a != b {
+	if a, b := repA.Wire.Packets, repB.Wire.Packets; a != b {
 		t.Errorf("packet counts differ: %d vs %d", a, b)
 	}
 }
@@ -98,15 +100,16 @@ func TestWirePathBatchingDeterminism(t *testing.T) {
 	if run1 != run2 {
 		t.Errorf("batched runs diverge:\n%+v\nvs\n%+v", run1, run2)
 	}
-	if a, b := sys1.Stats(), sys2.Stats(); a != b {
+	rep1, rep2 := sys1.Report(), sys2.Report()
+	if a, b := rep1.Sched.Counters, rep2.Sched.Counters; a != b {
 		t.Errorf("batched counters diverge:\n%+v\nvs\n%+v", a, b)
 	}
-	if s := sys1.Stats(); s.BatchesSent == 0 {
+	if rep1.Sched.Counters.BatchesSent == 0 {
 		t.Error("batching enabled but no batch was ever sent")
 	}
-	if sys1.Packets() >= plain.Packets {
+	if rep1.Wire.Packets >= plain.Packets {
 		t.Errorf("batched run launched %d packets, plain %d: no coalescing happened",
-			sys1.Packets(), plain.Packets)
+			rep1.Wire.Packets, plain.Packets)
 	}
 }
 
@@ -216,7 +219,7 @@ func TestWirePathLocationCache(t *testing.T) {
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
 	}
-	c1 := sys.Stats()
+	c1 := sys.Report().Sched.Counters
 	if c1.Forwards == 0 || c1.LocCacheMisses == 0 {
 		t.Fatalf("first wave: forwards=%d adverts=%d, want both > 0", c1.Forwards, c1.LocCacheMisses)
 	}
@@ -226,7 +229,7 @@ func TestWirePathLocationCache(t *testing.T) {
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
 	}
-	c2 := sys.Stats()
+	c2 := sys.Report().Sched.Counters
 	if c2.LocCacheHits < 20 {
 		t.Errorf("second wave: %d cache hits, want >= 20", c2.LocCacheHits)
 	}
@@ -245,8 +248,8 @@ func TestWirePathLocationCacheDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sys.LocationCache() {
-		t.Fatal("LocationCache() = true after WithoutLocationCache")
+	if sys.Report().Wire.LocationCache {
+		t.Fatal("Report().Wire.LocationCache = true after WithoutLocationCache")
 	}
 	inc := sys.Pattern("lc2.inc", 0)
 	kick := sys.Pattern("lc2.kick", 0)
@@ -275,7 +278,7 @@ func TestWirePathLocationCacheDisabled(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	c := sys.Stats()
+	c := sys.Report().Sched.Counters
 	if c.Forwards != 40 {
 		t.Errorf("forwards = %d, want 40 (every message takes the hop)", c.Forwards)
 	}
