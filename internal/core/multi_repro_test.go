@@ -1,0 +1,39 @@
+package core
+
+import "testing"
+
+// Repro: two grouped invocations of a multiactive object each Yield once.
+// Both deferred continuations park in multi.resume while the object sits in
+// the scheduling queue a single time; if multiReschedule ignores pending
+// resume entries, the second continuation is stranded.
+func TestMultiactiveTwoYieldedContinuations(t *testing.T) {
+	r := newTestRT(t, Options{})
+	work := r.Reg.Register("work", 0)
+	kick := r.Reg.Register("kick", 0)
+
+	var hotAddr Address
+	doneCount := 0
+
+	hot := r.DefineClass("hot", 0, nil)
+	hot.Method(work, func(ctx *Ctx) {
+		ctx.Yield(func(ctx *Ctx) {
+			doneCount++
+		})
+	})
+	hot.Group("g", work)
+
+	driver := r.DefineClass("driver", 0, nil)
+	driver.Method(kick, func(ctx *Ctx) {
+		ctx.SendPast(hotAddr, work)
+		ctx.SendPast(hotAddr, work)
+	})
+
+	hotAddr = r.NewObjectOn(0, hot)
+	d := r.NewObjectOn(0, driver)
+	r.Inject(d, kick)
+	run(t, r)
+
+	if doneCount != 2 {
+		t.Fatalf("completed continuations = %d, want 2", doneCount)
+	}
+}
