@@ -1,16 +1,17 @@
 # Convenience targets for the ABCL/onAP1000 reproduction.
 #
-#   make tier1           build + full test suite + bench smoke + perf gate + profile smoke
+#   make tier1           build + full test suite + bench smoke + perf gate + profile smoke + runpack regress
 #   make vet-race        go vet + race-detector pass over the parallel core
 #   make scenario-smoke  run every bundled fault scenario end to end
 #   make profile-smoke   run nqueens with -profile/-metrics, validate the JSONL schema
+#   make regress         re-verify every checked-in runpack under testdata/runpacks
 #   make check           all of the above
 #   make bench-baseline  run the perf suite, save BENCH_<date>.json
 #   make bench-compare   run the perf suite, diff against BASELINE json
 #   make bench-gate      fail if the gated benchmarks regress >GATE_PCT% vs BASELINE
 #   make cover           per-package test coverage summary
 
-.PHONY: all tier1 vet-race scenario-smoke profile-smoke check cover bench-baseline bench-compare bench-gate
+.PHONY: all tier1 vet-race scenario-smoke profile-smoke regress check cover bench-baseline bench-compare bench-gate
 
 all: tier1
 
@@ -20,6 +21,7 @@ tier1:
 	go test -run xxx -bench . -benchtime 1x .
 	$(MAKE) bench-gate
 	$(MAKE) profile-smoke
+	$(MAKE) regress
 
 vet-race:
 	go vet ./...
@@ -38,6 +40,11 @@ profile-smoke:
 		-profile $(SMOKE_DIR)/abcl-profile-smoke.jsonl -metrics $(SMOKE_DIR)/abcl-profile-smoke.json >/dev/null
 	go run ./cmd/profcheck -nodes 8 -metrics $(SMOKE_DIR)/abcl-profile-smoke.json $(SMOKE_DIR)/abcl-profile-smoke.jsonl
 
+# Determinism regression gate: every checked-in runpack is re-executed and
+# must reproduce its packed trace, report and answer byte-for-byte.
+regress:
+	go run ./cmd/abclsim regress testdata/runpacks
+
 check: tier1 vet-race scenario-smoke
 
 cover:
@@ -45,11 +52,13 @@ cover:
 
 # Performance tracking. bench-baseline records the suite into a dated JSON
 # report; bench-compare records a fresh report and prints a side-by-side
-# diff against BASELINE (default: the newest BENCH_*.json in the repo).
+# diff against BASELINE. The default hands benchjson the repo root, and it
+# picks the BENCH_<date>*.json with the newest embedded date — erroring out
+# (instead of a silent lexical tiebreak) when several reports share it.
 BENCH_PATTERN ?= BenchmarkTable1_IntraNodeDormant|BenchmarkTable4_NQueensScale|BenchmarkFigure5_Speedup|BenchmarkSimulatorThroughput|BenchmarkForkJoin|BenchmarkTable_AllToAll|BenchmarkProfilerOffOverhead|BenchmarkHotKeyContention
 BENCH_TIME ?= 20x
 BENCH_DATE := $(shell date +%Y-%m-%d)
-BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+BASELINE ?= .
 
 # The perf gate: the headline Figure-5 configuration must stay within
 # GATE_PCT percent of the checked-in baseline on both simulator speed
@@ -67,7 +76,6 @@ GATE_BENCH ?= Figure5_Speedup/N10_P256,ProfilerOffOverhead:10:2,HotKeyContention
 GATE_PCT ?= 10
 
 bench-gate:
-	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline found; run make bench-baseline first" >&2; exit 1; }
 	go test -run xxx -bench 'BenchmarkFigure5_Speedup$$/N10_P256$$|BenchmarkProfilerOffOverhead$$|BenchmarkHotKeyContention$$/full$$' -benchmem -benchtime $(BENCH_TIME) . \
 		| go run ./cmd/benchjson -compare $(BASELINE) -gate '$(GATE_BENCH)' -gate-pct $(GATE_PCT)
 
@@ -77,6 +85,5 @@ bench-baseline:
 	@echo wrote BENCH_$(BENCH_DATE).json
 
 bench-compare:
-	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline found; run make bench-baseline first" >&2; exit 1; }
 	go test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . \
 		| go run ./cmd/benchjson -date $(BENCH_DATE) -compare $(BASELINE)

@@ -31,6 +31,16 @@
 //	abclsim -workload scenario -scenario all
 //	abclsim -workload scenario -scenario nqueens-lossy
 //	abclsim -workload scenario -scenario path/to/spec.json
+//
+// Any configured run can be captured as a verifiable artifact: -pack writes
+// an integrity-checked runpack archive (config + seed + full trace + profile
+// + report), and the verify/diff/regress subcommands replay and compare
+// archives:
+//
+//	abclsim -workload hotkey -coverage full -pack out/
+//	abclsim verify out/runpack_<id>.zip
+//	abclsim diff a.zip b.zip
+//	abclsim regress testdata/runpacks
 package main
 
 import (
@@ -54,6 +64,7 @@ import (
 	"repro/internal/apps/nqueens"
 	"repro/internal/apps/pingpong"
 	"repro/internal/machine"
+	"repro/internal/runpack"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
@@ -98,8 +109,9 @@ var (
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON  = flag.String("bench-json", "", "write a wall-clock benchmark summary (JSON) to this file")
 
-	profileOut = flag.String("profile", "", "stream runtime events as JSON Lines to this file (nqueens and forkjoin workloads)")
-	metricsOut = flag.String("metrics", "", "write an event-count metrics summary (JSON) to this file (nqueens and forkjoin workloads)")
+	packOut    = flag.String("pack", "", "execute the configured run and write a verifiable runpack archive to this file or directory")
+	profileOut = flag.String("profile", "", "stream runtime events as JSON Lines to this file (any workload)")
+	metricsOut = flag.String("metrics", "", "write an event-count metrics summary (JSON) to this file (any workload)")
 	costTable  = flag.Bool("cost-table", false, "enable the cost-attribution profiler and print the per-path cost table")
 	profWindow timeFlag // -profile-window: time-series slice width for the profiler
 )
@@ -245,12 +257,7 @@ func sysOptions() []abcl.Option {
 	if ckptInterval > 0 {
 		opts = append(opts, abcl.WithCheckpoint(abcl.Time(ckptInterval)))
 	}
-	if profileSink != nil {
-		opts = append(opts, abcl.WithObserver(profileSink))
-	}
-	if metricsSink != nil {
-		opts = append(opts, abcl.WithObserver(metricsSink))
-	}
+	opts = append(opts, observerOpts()...)
 	if *costTable || profWindow > 0 {
 		opts = append(opts, abcl.WithProfiler(abcl.ProfileOptions{
 			Window:  abcl.Time(profWindow),
@@ -258,6 +265,48 @@ func sysOptions() []abcl.Option {
 		}))
 	}
 	return opts
+}
+
+// observerOpts turns the resolved -profile/-metrics sinks into options, for
+// sysOptions and for workloads that build their Systems internally.
+func observerOpts() []abcl.Option {
+	var opts []abcl.Option
+	if profileSink != nil {
+		opts = append(opts, abcl.WithObserver(profileSink))
+	}
+	if metricsSink != nil {
+		opts = append(opts, abcl.WithObserver(metricsSink))
+	}
+	return opts
+}
+
+// extraOpts carries flag-driven options into workloads whose Options structs
+// build the System themselves (diffusion, hotkey, orderbook, pingpong):
+// observers, parallel execution, location-cache control.
+func extraOpts() []abcl.Option {
+	opts := observerOpts()
+	if *parSim > 1 {
+		opts = append(opts, abcl.WithParallelSim(*parSim))
+	}
+	if *noLocCache {
+		opts = append(opts, abcl.WithoutLocationCache())
+	}
+	return opts
+}
+
+// scenarioObserver merges the -profile/-metrics sinks into the single
+// observer a scenario run attaches to both its baseline and faulted systems;
+// nil when neither flag is set.
+func scenarioObserver() trace.Sink {
+	switch {
+	case profileSink != nil && metricsSink != nil:
+		return trace.Tee(profileSink, metricsSink)
+	case profileSink != nil:
+		return profileSink
+	case metricsSink != nil:
+		return metricsSink
+	}
+	return nil
 }
 
 // openObservers resolves the -profile/-metrics flags into trace sinks before
@@ -333,7 +382,23 @@ func commsLine(sys *abcl.System) string {
 }
 
 func main() {
+	// Archive subcommands take positional arguments, not flags; dispatch
+	// before flag parsing so "abclsim verify pack.zip" just works.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "verify", "diff", "regress":
+			if err := runSubcommand(os.Args[1], os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "abclsim:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	flag.Parse()
+	if *packOut != "" && (*profileOut != "" || *metricsOut != "") {
+		fmt.Fprintln(os.Stderr, "abclsim: -pack captures its own trace; drop -profile/-metrics")
+		os.Exit(1)
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -351,20 +416,22 @@ func main() {
 	}
 	start := time.Now()
 	var err error
-	switch *workload {
-	case "nqueens":
+	switch {
+	case *packOut != "":
+		err = runPack()
+	case *workload == "nqueens":
 		err = runNQueens()
-	case "pingpong":
+	case *workload == "pingpong":
 		err = runPingPong()
-	case "forkjoin":
+	case *workload == "forkjoin":
 		err = runForkJoin()
-	case "diffusion":
+	case *workload == "diffusion":
 		err = runDiffusion()
-	case "hotkey":
+	case *workload == "hotkey":
 		err = runHotKey()
-	case "orderbook":
+	case *workload == "orderbook":
 		err = runOrderBook()
-	case "scenario":
+	case *workload == "scenario":
 		err = runScenarios()
 	default:
 		err = fmt.Errorf("unknown workload %q", *workload)
@@ -432,6 +499,135 @@ func writeBenchJSON(path string, wall time.Duration) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// runSubcommand handles the positional archive commands: verify replays one
+// pack, diff explains two, regress re-verifies a directory of them.
+func runSubcommand(cmd string, args []string) error {
+	switch cmd {
+	case "verify":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: abclsim verify <pack.zip>")
+		}
+		p, err := runpack.Open(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := runpack.Verify(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(v.Summary(p))
+		if !v.OK {
+			return fmt.Errorf("runpack %s failed verification", p.Manifest.ID)
+		}
+		return nil
+	case "diff":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: abclsim diff <a.zip> <b.zip>")
+		}
+		a, err := runpack.Open(args[0])
+		if err != nil {
+			return err
+		}
+		b, err := runpack.Open(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Print(runpack.Diff(a, b).Summary(a, b))
+		return nil
+	case "regress":
+		dir := "testdata/runpacks"
+		if len(args) > 1 {
+			return fmt.Errorf("usage: abclsim regress [dir]")
+		}
+		if len(args) == 1 {
+			dir = args[0]
+		}
+		return runpack.Regress(dir, os.Stdout)
+	}
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// packConfig snapshots the flag set into a replayable RunConfig. A scenario
+// pack embeds one named spec — "all" has no single trace to pin.
+func packConfig() (runpack.RunConfig, error) {
+	cfg := runpack.RunConfig{
+		Workload:        *workload,
+		Nodes:           *nodes,
+		Seed:            *seed,
+		Policy:          *policy,
+		Placement:       *placement,
+		Stock:           *stock,
+		N:               *n,
+		Depth:           *depth,
+		Grid:            *grid,
+		GridIters:       *gridIters,
+		Scatter:         !*block,
+		Iters:           *iters,
+		Clients:         *clients,
+		Ops:             *opsPer,
+		WritePct:        *writePct,
+		Coverage:        *coverage,
+		Ungrouped:       !*grouped,
+		Reorder:         *reorder,
+		Drop:            *drop,
+		Dup:             *dup,
+		JitterNs:        *jitter,
+		BatchWindowNs:   *batchWindow,
+		BatchBytes:      *batchBytes,
+		AckDelayNs:      *ackDelay,
+		Reliable:        *reliable,
+		NoLocCache:      *noLocCache,
+		CkptIntervalNs:  int64(ckptInterval),
+		ParallelSim:     *parSim,
+		ProfileWindowNs: int64(profWindow),
+	}
+	for _, c := range crashes {
+		cfg.Crashes = append(cfg.Crashes, runpack.Crash{
+			Node: c.Node, AtNs: int64(c.At), RestartAfterNs: int64(c.RestartAfter),
+		})
+	}
+	if *workload == "scenario" {
+		var sp scenario.Spec
+		var err error
+		switch {
+		case *scen == "all":
+			return cfg, fmt.Errorf("-pack needs one scenario (-scenario <name|file.json>), not %q", *scen)
+		case strings.HasSuffix(*scen, ".json"):
+			sp, err = scenario.Load(*scen)
+		default:
+			sp, err = scenario.Find(*scen)
+		}
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Scenario = &sp
+	}
+	return cfg, nil
+}
+
+// runPack executes the configured run under the runpack executor and writes
+// the archive.
+func runPack() error {
+	cfg, err := packConfig()
+	if err != nil {
+		return err
+	}
+	p, path, err := runpack.Create(cfg, *packOut)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("packed %s\n", path)
+	fmt.Printf("  id        %s\n", p.Manifest.ID)
+	fmt.Printf("  workload  %s\n", p.Config.Workload)
+	fmt.Printf("  trace     %d events, sha256 %s...\n",
+		p.Manifest.TraceEvents, p.Manifest.TraceSHA256[:12])
+	if p.Manifest.ParallelChecked {
+		fmt.Println("  parallel  executor cross-checked against the sequential run")
+	}
+	fmt.Printf("  next      abclsim verify %s\n", path)
+	return nil
+}
+
 func parsePolicy() abcl.Policy {
 	if *policy == "naive" {
 		return abcl.Naive
@@ -494,23 +690,24 @@ func runNQueens() error {
 }
 
 func runPingPong() error {
-	d, err := pingpong.PastLocal(*iters)
+	extra := extraOpts()
+	d, err := pingpong.PastLocal(*iters, extra...)
 	if err != nil {
 		return err
 	}
-	a, err := pingpong.PastLocalActive(*iters)
+	a, err := pingpong.PastLocalActive(*iters, extra...)
 	if err != nil {
 		return err
 	}
-	c, err := pingpong.CreateLocal(*iters)
+	c, err := pingpong.CreateLocal(*iters, extra...)
 	if err != nil {
 		return err
 	}
-	r, err := pingpong.PastRemote(*iters)
+	r, err := pingpong.PastRemote(*iters, extra...)
 	if err != nil {
 		return err
 	}
-	w, err := pingpong.NowRemote(*iters / 10)
+	w, err := pingpong.NowRemote(*iters/10, extra...)
 	if err != nil {
 		return err
 	}
@@ -550,6 +747,7 @@ func runDiffusion() error {
 		BatchWindow: abcl.Time(*batchWindow), AckDelay: abcl.Time(*ackDelay),
 		Reliable:           *reliable || *ackDelay > 0,
 		CheckpointInterval: abcl.Time(ckptInterval),
+		Extra:              extraOpts(),
 	})
 	if err != nil {
 		return err
@@ -576,6 +774,7 @@ func runHotKey() error {
 		BatchWindow: abcl.Time(*batchWindow), AckDelay: abcl.Time(*ackDelay),
 		Reliable:           *reliable || *ackDelay > 0,
 		CheckpointInterval: abcl.Time(ckptInterval),
+		Extra:              extraOpts(),
 	})
 	if err != nil {
 		return err
@@ -595,6 +794,7 @@ func runOrderBook() error {
 	res, err := orderbook.Run(orderbook.Options{
 		Nodes: *nodes, Clients: *clients, Ops: *opsPer,
 		Grouped: *grouped, Reorder: *reorder, Seed: *seed,
+		Extra: extraOpts(),
 	})
 	if err != nil {
 		return err
@@ -638,28 +838,36 @@ func runScenarios() error {
 	// Each scenario builds its own fault-free and faulted systems, so the
 	// suite runs concurrently across GOMAXPROCS. Reports are collected into
 	// indexed slots and printed in spec order, identical to a serial run.
+	// With a -profile/-metrics observer attached the sink is shared, so the
+	// suite runs serially to keep the event stream deterministic.
 	outs := make([]scenario.Outcome, len(specs))
 	errs := make([]error, len(specs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(specs) {
-					return
+	if obs := scenarioObserver(); obs != nil {
+		for i := range specs {
+			outs[i], errs[i] = scenario.RunWith(specs[i], scenario.RunOpts{Observer: obs})
+		}
+	} else {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(specs) {
+			workers = len(specs)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(specs) {
+						return
+					}
+					outs[i], errs[i] = scenario.Run(specs[i])
 				}
-				outs[i], errs[i] = scenario.Run(specs[i])
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	failed := 0
 	for i := range specs {
 		if errs[i] != nil {

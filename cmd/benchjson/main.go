@@ -16,6 +16,12 @@
 // that benchmark. Separate limits let a deterministic metric be gated
 // tightly (allocs/op is exactly reproducible) while wall-clock keeps the
 // headroom host noise demands.
+//
+// -compare also accepts a directory: the baseline is then the unique
+// BENCH_<date>*.json with the newest embedded date. When several reports
+// share the newest date the choice is ambiguous — a lexical tiebreak would
+// silently gate against whichever name sorts last — so benchjson refuses
+// and lists the candidates; name one explicitly.
 package main
 
 import (
@@ -24,6 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -80,7 +89,15 @@ func main() {
 	}
 
 	if *compare != "" {
-		base, err := load(*compare)
+		path := *compare
+		if st, err := os.Stat(path); err == nil && st.IsDir() {
+			path, err = selectBaseline(path)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s\n", path)
+		}
+		base, err := load(path)
 		if err != nil {
 			fatal(err)
 		}
@@ -153,6 +170,42 @@ func runGate(base, cur *Report, names []string, pct float64) bool {
 		check("allocs/op", old.AllocsOp, b.AllocsOp, allocLimit)
 	}
 	return ok
+}
+
+// baselineDate extracts the date stamp from a BENCH_<date>*.json name.
+var baselineDate = regexp.MustCompile(`^BENCH_(\d{4}-\d{2}-\d{2})`)
+
+// selectBaseline resolves a -compare directory to the unique baseline
+// report carrying the newest date. Reports sharing the newest date make the
+// choice ambiguous, and the error lists every candidate.
+func selectBaseline(dir string) (string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	newest := ""
+	var candidates []string
+	for _, p := range paths {
+		m := baselineDate.FindStringSubmatch(filepath.Base(p))
+		if m == nil {
+			continue
+		}
+		switch d := m[1]; {
+		case d > newest:
+			newest, candidates = d, []string{p}
+		case d == newest:
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return "", fmt.Errorf("no BENCH_<date>*.json baseline under %s; run make bench-baseline first", dir)
+	}
+	if len(candidates) > 1 {
+		sort.Strings(candidates)
+		return "", fmt.Errorf("ambiguous baseline: %d reports share newest date %s:\n  %s\npass -compare with one of them",
+			len(candidates), newest, strings.Join(candidates, "\n  "))
+	}
+	return candidates[0], nil
 }
 
 func fatal(err error) {

@@ -78,6 +78,9 @@ type Options struct {
 
 	// Profile, when non-nil, attaches the cost-attribution profiler.
 	Profile *abcl.ProfileOptions
+	// Extra system options appended after everything above (an observer
+	// sink, the parallel executor, ...). Later options win.
+	Extra []abcl.Option
 }
 
 // Result reports a run.
@@ -143,6 +146,7 @@ func Run(opt Options) (Result, error) {
 	if opt.Profile != nil {
 		opts = append(opts, abcl.WithProfiler(*opt.Profile))
 	}
+	opts = append(opts, opt.Extra...)
 	sys, err := abcl.NewSystem(opts...)
 	if err != nil {
 		return Result{}, err

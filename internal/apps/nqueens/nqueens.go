@@ -70,6 +70,9 @@ type Options struct {
 	Profile *abcl.ProfileOptions
 	// Observer, when non-nil, receives every runtime event (abcl.WithObserver).
 	Observer abcl.Sink
+	// Extra system options appended after everything above (parallel
+	// execution, location-cache control, ...). Later options win.
+	Extra []abcl.Option
 }
 
 // Result reports one parallel run.
@@ -136,6 +139,7 @@ func Run(opt Options) (Result, error) {
 	if opt.Observer != nil {
 		opts = append(opts, abcl.WithObserver(opt.Observer))
 	}
+	opts = append(opts, opt.Extra...)
 	sys, err := abcl.NewSystem(opts...)
 	if err != nil {
 		return Result{}, err

@@ -20,8 +20,8 @@ type Result struct {
 // PastLocal measures the intra-node past-type send to a dormant object
 // (Table 1 row 1): a driver repeatedly invokes a null method on a dormant
 // object on the same node.
-func PastLocal(iters int) (Result, error) {
-	sys, err := abcl.NewSystem(abcl.WithNodes(1))
+func PastLocal(iters int, opts ...abcl.Option) (Result, error) {
+	sys, err := abcl.NewSystem(append([]abcl.Option{abcl.WithNodes(1)}, opts...)...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -54,8 +54,8 @@ func PastLocal(iters int) (Result, error) {
 // PastLocalActive measures the intra-node message to an active object
 // (Table 1 row 2): the receiver sends to itself, so every message after the
 // first is buffered and scheduled through the queue.
-func PastLocalActive(iters int) (Result, error) {
-	sys, err := abcl.NewSystem(abcl.WithNodes(1))
+func PastLocalActive(iters int, opts ...abcl.Option) (Result, error) {
+	sys, err := abcl.NewSystem(append([]abcl.Option{abcl.WithNodes(1)}, opts...)...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -83,8 +83,8 @@ func PastLocalActive(iters int) (Result, error) {
 }
 
 // CreateLocal measures intra-node object creation (Table 1 row 3).
-func CreateLocal(iters int) (Result, error) {
-	sys, err := abcl.NewSystem(abcl.WithNodes(1))
+func CreateLocal(iters int, opts ...abcl.Option) (Result, error) {
+	sys, err := abcl.NewSystem(append([]abcl.Option{abcl.WithNodes(1)}, opts...)...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -114,8 +114,8 @@ func CreateLocal(iters int) (Result, error) {
 // the paper does: "repeatedly transmitting one word past-type messages
 // between two objects" on adjacent nodes, both dormant at reception.
 // Per-op time is the one-way latency.
-func PastRemote(iters int) (Result, error) {
-	sys, err := abcl.NewSystem(abcl.WithNodes(2))
+func PastRemote(iters int, opts ...abcl.Option) (Result, error) {
+	sys, err := abcl.NewSystem(append([]abcl.Option{abcl.WithNodes(2)}, opts...)...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -148,8 +148,8 @@ func PastRemote(iters int) (Result, error) {
 
 // NowRemote measures the inter-node request-reply cycle of Table 3: a
 // now-type message to a remote object that replies immediately.
-func NowRemote(iters int) (Result, error) {
-	sys, err := abcl.NewSystem(abcl.WithNodes(2))
+func NowRemote(iters int, opts ...abcl.Option) (Result, error) {
+	sys, err := abcl.NewSystem(append([]abcl.Option{abcl.WithNodes(2)}, opts...)...)
 	if err != nil {
 		return Result{}, err
 	}

@@ -396,11 +396,13 @@ func (n *NodeRT) multiMethodEnd(obj *Object, f *Frame) {
 }
 
 // multiReschedule re-enqueues a multiactive object when it still holds
-// dispatchable work: a pre-initialization frame in the serial queue, or a
+// dispatchable work: a deferred continuation (each dispatch resumes only
+// the oldest, and the enqueue that parked a later one deduped against the
+// queued object), a pre-initialization frame in the serial queue, or a
 // parked ready frame whose group can now start.
 func (n *NodeRT) multiReschedule(obj *Object) {
 	ms := obj.multi
-	if !obj.queue.empty() || (ms.readyN > 0 && ms.anyStartable(obj.class)) {
+	if len(ms.resume) > 0 || !obj.queue.empty() || (ms.readyN > 0 && ms.anyStartable(obj.class)) {
 		n.enqueueSched(obj)
 	}
 }

@@ -1,0 +1,48 @@
+package runpack
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Regress treats every *.zip under dir as a regression test: each pack is
+// opened (integrity check) and verified (re-executed and compared). A
+// summary for each pack is written to w. The returned error aggregates all
+// failures; nil means every pack reproduced.
+func Regress(dir string, w io.Writer) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.zip"))
+	if err != nil {
+		return fmt.Errorf("runpack regress: %w", err)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(w, "runpack regress: no packs under %s\n", dir)
+		return nil
+	}
+	sort.Strings(paths)
+	var failed []string
+	for _, path := range paths {
+		p, err := Open(path)
+		if err != nil {
+			fmt.Fprintf(w, "FAIL %s: %v\n", filepath.Base(path), err)
+			failed = append(failed, filepath.Base(path))
+			continue
+		}
+		v, err := Verify(p)
+		if err != nil {
+			fmt.Fprintf(w, "FAIL %s: %v\n", filepath.Base(path), err)
+			failed = append(failed, filepath.Base(path))
+			continue
+		}
+		fmt.Fprint(w, v.Summary(p))
+		if !v.OK {
+			failed = append(failed, filepath.Base(path))
+		}
+	}
+	fmt.Fprintf(w, "runpack regress: %d/%d packs reproduced\n", len(paths)-len(failed), len(paths))
+	if len(failed) > 0 {
+		return fmt.Errorf("runpack regress: %d of %d packs failed: %v", len(failed), len(paths), failed)
+	}
+	return nil
+}

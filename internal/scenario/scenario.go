@@ -15,6 +15,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/apps/nqueens"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Link is one link-fault rule. Src/Dst -1 — the default when omitted —
@@ -159,29 +161,42 @@ type Spec struct {
 	Assert Assert `json:"assert"`
 }
 
-// Validate rejects malformed specs before anything runs.
+// Validate rejects malformed specs before anything runs. Like NewSystem's
+// option validation, every complaint — missing fields, unknown workloads,
+// bad fault schedules — is collected and returned as one joined error, so a
+// broken spec reports all of its problems at once.
 func (sp Spec) Validate() error {
-	if sp.Name == "" {
-		return fmt.Errorf("scenario: missing name")
+	var errs []error
+	name := sp.Name
+	if name == "" {
+		name = "(unnamed)"
+		errs = append(errs, fmt.Errorf("scenario: missing name"))
 	}
 	if sp.Nodes < 1 {
-		return fmt.Errorf("scenario %s: nodes must be >= 1", sp.Name)
+		errs = append(errs, fmt.Errorf("scenario %s: nodes must be >= 1", name))
 	}
 	switch sp.Workload {
 	case "nqueens", "forkjoin", "diffusion":
 	case "hotkey":
 		if sp.Nodes < 2 {
-			return fmt.Errorf("scenario %s: hotkey needs >= 2 nodes", sp.Name)
+			errs = append(errs, fmt.Errorf("scenario %s: hotkey needs >= 2 nodes", name))
 		}
 		if sp.Coverage != "" {
 			if _, err := hotkey.ParseCoverage(sp.Coverage); err != nil {
-				return fmt.Errorf("scenario %s: %w", sp.Name, err)
+				errs = append(errs, fmt.Errorf("scenario %s: %w", name, err))
 			}
 		}
 	default:
-		return fmt.Errorf("scenario %s: unknown workload %q", sp.Name, sp.Workload)
+		errs = append(errs, fmt.Errorf("scenario %s: unknown workload %q", name, sp.Workload))
 	}
-	return sp.Faults.Plan().Validate(sp.Nodes)
+	// The fault schedule is only checkable against a sane fleet size; with
+	// nodes < 1 every rule would drown in out-of-range noise.
+	if sp.Nodes >= 1 {
+		if err := sp.Faults.Plan().Validate(sp.Nodes); err != nil {
+			errs = append(errs, fmt.Errorf("scenario %s: %w", name, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // RunResult is one execution of the scenario's workload.
@@ -205,18 +220,34 @@ type Outcome struct {
 // OK reports whether every assertion held.
 func (o Outcome) OK() bool { return len(o.Violations) == 0 }
 
+// RunOpts carries cross-cutting instrumentation for a scenario execution;
+// the zero value runs the scenario bare. The runpack subsystem uses it to
+// capture a replayable event trace of a whole scenario.
+type RunOpts struct {
+	// Observer, when non-nil, receives every runtime event of the baseline
+	// run followed by every event of the faulted run (the two systems
+	// execute strictly in that order).
+	Observer trace.Sink
+	// Profile, when non-nil, attaches the cost-attribution profiler to both
+	// runs, overriding the spec's ProfileWindowNs.
+	Profile *abcl.ProfileOptions
+}
+
 // Run executes the scenario: baseline first, then the faulted run, then the
 // assertions. The error return is for infrastructure failures (bad spec,
 // workload error); assertion failures land in Outcome.Violations.
-func Run(sp Spec) (Outcome, error) {
+func Run(sp Spec) (Outcome, error) { return RunWith(sp, RunOpts{}) }
+
+// RunWith is Run with instrumentation attached to both executions.
+func RunWith(sp Spec, ro RunOpts) (Outcome, error) {
 	if err := sp.Validate(); err != nil {
 		return Outcome{}, err
 	}
-	base, err := runWorkload(sp, abcl.FaultPlan{})
+	base, err := runWorkload(sp, abcl.FaultPlan{}, ro)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("scenario %s: baseline: %w", sp.Name, err)
 	}
-	faulted, err := runWorkload(sp, sp.Faults.Plan())
+	faulted, err := runWorkload(sp, sp.Faults.Plan(), ro)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("scenario %s: faulted: %w", sp.Name, err)
 	}
@@ -279,7 +310,7 @@ func (o *Outcome) check() {
 }
 
 // runWorkload executes the spec's workload once under the given plan.
-func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
+func runWorkload(sp Spec, plan abcl.FaultPlan, ro RunOpts) (RunResult, error) {
 	seed := sp.Seed
 	if seed == 0 {
 		seed = abcl.DefaultSeed
@@ -287,9 +318,13 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 	batch := sim.Time(sp.BatchWindowNs)
 	ackDelay := sim.Time(sp.AckDelayNs)
 	ckpt := sim.Time(sp.CheckpointIntervalNs)
-	var prof *abcl.ProfileOptions
-	if sp.ProfileWindowNs > 0 {
+	prof := ro.Profile
+	if prof == nil && sp.ProfileWindowNs > 0 {
 		prof = &abcl.ProfileOptions{Window: sim.Time(sp.ProfileWindowNs)}
+	}
+	var extra []abcl.Option
+	if ro.Observer != nil {
+		extra = append(extra, abcl.WithObserver(ro.Observer))
 	}
 	switch sp.Workload {
 	case "nqueens":
@@ -303,6 +338,7 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 			BatchWindow: batch, AckDelay: ackDelay, Reliable: ackDelay > 0,
 			CheckpointInterval: ckpt,
 			Profile:            prof,
+			Extra:              extra,
 		})
 		if err != nil {
 			return RunResult{}, err
@@ -331,6 +367,7 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 		if prof != nil {
 			opts = append(opts, abcl.WithProfiler(*prof))
 		}
+		opts = append(opts, extra...)
 		sys, err := abcl.NewSystem(opts...)
 		if err != nil {
 			return RunResult{}, err
@@ -365,6 +402,7 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 			BatchWindow: batch, AckDelay: ackDelay, Reliable: ackDelay > 0,
 			CheckpointInterval: ckpt,
 			Profile:            prof,
+			Extra:              extra,
 		})
 		if err != nil {
 			return RunResult{}, err
@@ -392,6 +430,7 @@ func runWorkload(sp Spec, plan abcl.FaultPlan) (RunResult, error) {
 			BatchWindow: batch, AckDelay: ackDelay, Reliable: ackDelay > 0,
 			CheckpointInterval: ckpt,
 			Profile:            prof,
+			Extra:              extra,
 		})
 		if err != nil {
 			return RunResult{}, err
