@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/parexec"
 	"repro/internal/profile"
 	"repro/internal/remote"
 	"repro/internal/sim"
@@ -191,7 +192,7 @@ type settings struct {
 	machine     *machine.Config
 	traceCap    int
 	faults      FaultPlan
-	parWorkers  int
+	exec        ExecutorSpec
 	reliable    bool // ack/retry protocol even without faults
 	batchWindow Time
 	batchBytes  int
@@ -286,8 +287,9 @@ func WithTrace(capacity int) Option {
 // the simulation's single deterministic event order. Multiple observers (or
 // an observer plus WithTrace) compose via trace.Tee. Sinks must not retain
 // the Event or any memory reachable from it beyond the call; see the trace
-// package for the full contract. Incompatible with WithParallelSim: parallel
-// windows have no single global interleaving to observe.
+// package for the full contract. Incompatible with the parallel executors
+// (WithExecutor): parallel windows have no single global interleaving to
+// observe.
 func WithObserver(sink trace.Sink) Option {
 	return func(s *settings) error {
 		if sink == nil {
@@ -454,7 +456,8 @@ func WithoutLocationCache() Option {
 // produces the same application results as a fault-free run. A crash plan
 // without WithCheckpoint recovers from an automatic baseline checkpoint
 // taken before execution starts (restart-from-the-beginning). Incompatible
-// with WithParallelSim: a restore touches every event lane at once.
+// with the Conservative executor — a restore touches every event lane at
+// once — but works under Optimistic, which fences the marker rounds.
 func WithCheckpoint(interval Time) Option {
 	return func(s *settings) error {
 		if interval <= 0 {
@@ -465,20 +468,131 @@ func WithCheckpoint(interval Time) Option {
 	}
 }
 
+// execKind discriminates the execution strategies an ExecutorSpec can name.
+type execKind int
+
+const (
+	execSequential execKind = iota
+	execConservative
+	execOptimistic
+)
+
+// OptimisticOptions tunes the Time Warp executor selected by Optimistic.
+// The zero value is a good default for every field.
+type OptimisticOptions struct {
+	// Window is the initial (and floor of the maximum) speculation window
+	// width in virtual time. Zero picks 16× the network lookahead. The
+	// executor adapts around this starting point: rollbacks shrink the
+	// window toward the conservative lookahead, clean wide commits grow it.
+	Window Time
+
+	// MaxRollbackDepth is the number of consecutive rolled-back windows
+	// tolerated before the executor collapses to conservative width and
+	// waits for a probe to succeed before speculating again. Zero picks 8.
+	MaxRollbackDepth int
+
+	// GVTInterval caps how far the commit horizon (the Time Warp GVT — the
+	// virtual time below which no event can be rolled back) may trail a
+	// single window: the adaptive window width never exceeds
+	// max(Window, GVTInterval), so state is committed and snapshots are
+	// released (fossil collection) at least this often. Zero leaves the
+	// cap at Window. Must be zero or >= Window.
+	GVTInterval Time
+}
+
+// ExecutorSpec names an execution strategy for WithExecutor. Build one with
+// Sequential, Conservative or Optimistic.
+type ExecutorSpec struct {
+	kind    execKind
+	workers int
+	opt     OptimisticOptions
+}
+
+// String names the strategy for reports and manifests: "sequential",
+// "conservative(8)", "optimistic(8)".
+func (e ExecutorSpec) String() string {
+	switch e.kind {
+	case execConservative:
+		return fmt.Sprintf("conservative(%d)", e.workers)
+	case execOptimistic:
+		return fmt.Sprintf("optimistic(%d)", e.workers)
+	default:
+		return "sequential"
+	}
+}
+
+// Sequential selects the default single-threaded event engine: one global
+// event order, compatible with every other option.
+func Sequential() ExecutorSpec { return ExecutorSpec{kind: execSequential} }
+
+// Conservative selects the conservative parallel executor with the given
+// worker count: node event lanes whose next events fall inside one
+// minimum-wire-latency lookahead window fire concurrently, then the engine
+// barriers and advances. Results are identical to the sequential engine
+// (same final state, same statistics); only wall-clock time differs.
+// workers <= 1 selects the sequential engine.
+func Conservative(workers int) ExecutorSpec {
+	return ExecutorSpec{kind: execConservative, workers: workers}
+}
+
+// Optimistic selects the optimistic (Time Warp) parallel executor: lanes
+// speculate past the conservative lookahead horizon inside adaptive windows,
+// snapshotting their state at the horizon; a cross-lane message into
+// another lane's speculated past rolls the window back (restoring state,
+// revoking the speculative events — the sender-side form of anti-messages)
+// and the window re-commits conservatively. Results are byte-identical to
+// the sequential engine, including statistics, multiactive scheduling
+// decisions, fault injections and checkpoint rounds; only wall-clock time
+// differs. workers <= 1 selects the sequential engine.
+//
+// Compared to Conservative, Optimistic wins when the conservative lookahead
+// is small relative to event spacing (wide-area or congested topologies)
+// and cross-lane conflicts are rare; it loses on tightly-coupled all-to-all
+// traffic at small scale, where most windows abort.
+func Optimistic(workers int, opt OptimisticOptions) ExecutorSpec {
+	return ExecutorSpec{kind: execOptimistic, workers: workers, opt: opt}
+}
+
+// WithExecutor picks the execution strategy (default Sequential). The
+// parallel executors are incompatible with WithTrace/WithObserver — the
+// trace contract is a single global interleaving that parallel windows do
+// not have — and Conservative is additionally incompatible with
+// WithCheckpoint or a crash plan (a restore touches every event lane at
+// once; Optimistic handles both by fencing the checkpoint protocol).
+// WithProfiler requires Sequential or Conservative.
+func WithExecutor(e ExecutorSpec) Option {
+	return func(s *settings) error {
+		if e.workers < 0 {
+			return fmt.Errorf("abcl: WithExecutor: worker count %d must be non-negative", e.workers)
+		}
+		if e.opt.Window < 0 {
+			return fmt.Errorf("abcl: WithExecutor: OptimisticOptions.Window %v must be non-negative", e.opt.Window)
+		}
+		if e.opt.MaxRollbackDepth < 0 {
+			return fmt.Errorf("abcl: WithExecutor: OptimisticOptions.MaxRollbackDepth %d must be non-negative", e.opt.MaxRollbackDepth)
+		}
+		if e.opt.GVTInterval < 0 {
+			return fmt.Errorf("abcl: WithExecutor: OptimisticOptions.GVTInterval %v must be non-negative", e.opt.GVTInterval)
+		}
+		if e.opt.GVTInterval > 0 && e.opt.GVTInterval < e.opt.Window {
+			return fmt.Errorf("abcl: WithExecutor: OptimisticOptions.GVTInterval %v must be zero or >= Window %v", e.opt.GVTInterval, e.opt.Window)
+		}
+		s.exec = e
+		return nil
+	}
+}
+
 // WithParallelSim runs the simulation on the conservative parallel executor
-// with the given worker count: node event lanes whose next events fall inside
-// one minimum-wire-latency lookahead window fire concurrently, then the
-// engine barriers and advances. Results are identical to the sequential
-// engine (same final state, same statistics); only wall-clock time differs.
-// workers <= 1 selects the sequential engine. Incompatible with WithTrace:
-// the trace ring records a single global interleaving that parallel windows
-// do not have.
+// with the given worker count.
+//
+// Deprecated: use WithExecutor(Conservative(workers)); WithParallelSim
+// remains as an exact alias.
 func WithParallelSim(workers int) Option {
 	return func(s *settings) error {
 		if workers < 0 {
 			return fmt.Errorf("abcl: WithParallelSim(%d): worker count must be non-negative", workers)
 		}
-		s.parWorkers = workers
+		s.exec = Conservative(workers)
 		return nil
 	}
 }
@@ -493,7 +607,8 @@ type System struct {
 
 	seed        int64
 	faults      FaultPlan
-	parWorkers  int
+	exec        ExecutorSpec
+	inj         *fault.Injector     // nil unless faults are enabled
 	prof        *profile.Profiler   // nil unless WithProfiler
 	ckpt        *checkpoint.Manager // nil unless checkpointing is active
 	ckptStarted bool
@@ -538,11 +653,17 @@ func NewSystem(opts ...Option) (*System, error) {
 	// per-link sequence space.
 	ckptOn := s.ckptEvery > 0 || len(s.faults.Crashes) > 0
 	reliable := s.reliable || s.faults.Enabled() || ckptOn
-	if (s.observer != nil || s.traceCap > 0) && s.parWorkers > 1 {
-		errs = append(errs, fmt.Errorf("abcl: WithTrace/WithObserver and WithParallelSim are incompatible: observers see a single global event interleaving"))
+	parallel := s.exec.workers > 1 &&
+		(s.exec.kind == execConservative || s.exec.kind == execOptimistic)
+	optimistic := s.exec.kind == execOptimistic && s.exec.workers > 1
+	if (s.observer != nil || s.traceCap > 0) && parallel {
+		errs = append(errs, fmt.Errorf("abcl: WithTrace/WithObserver and a parallel executor (WithExecutor) are incompatible: observers see a single global event interleaving"))
 	}
-	if ckptOn && s.parWorkers > 1 {
-		errs = append(errs, fmt.Errorf("abcl: WithCheckpoint (or a crash plan) and WithParallelSim are incompatible: a restore touches every event lane at once"))
+	if ckptOn && parallel && !optimistic {
+		errs = append(errs, fmt.Errorf("abcl: WithCheckpoint (or a crash plan) and the Conservative executor are incompatible: a restore touches every event lane at once (the Optimistic executor supports checkpointing)"))
+	}
+	if s.prof != nil && optimistic {
+		errs = append(errs, fmt.Errorf("abcl: WithProfiler and the Optimistic executor are incompatible: profile accumulators are monotonic and cannot be rolled back"))
 	}
 	if s.ackDelay > 0 && !reliable {
 		errs = append(errs, fmt.Errorf("abcl: WithDelayedAcks requires the reliable protocol (combine with WithFaults or WithReliable)"))
@@ -580,8 +701,9 @@ func NewSystem(opts ...Option) (*System, error) {
 			InstrNs: mcfg.NsPerInstr(),
 		})
 	}
+	var inj *fault.Injector
 	if s.faults.Enabled() {
-		inj, err := fault.NewInjector(s.faults, s.seed, s.nodes)
+		inj, err = fault.NewInjector(s.faults, s.seed, s.nodes)
 		if err != nil {
 			return nil, fmt.Errorf("abcl: %w", err)
 		}
@@ -593,10 +715,19 @@ func NewSystem(opts ...Option) (*System, error) {
 		Trace:         sink,
 		Prof:          prof,
 	})
-	if ckptOn {
+	if ckptOn || optimistic {
 		// Object tracking must be on before anything — bootstrap objects,
-		// stocked chunks, reply destinations — is created.
+		// stocked chunks, reply destinations — is created. The optimistic
+		// executor needs it for the same reason checkpointing does: lane
+		// rollback restores nodes through the snapshot machinery.
 		rt.EnableSnapshots()
+	}
+	if optimistic {
+		rt.SetOptimistic()
+		m.SetOptimistic()
+		if inj != nil {
+			inj.SetOptimistic()
+		}
 	}
 	net := remote.Attach(rt, remote.Options{
 		StockDepth:      s.stock,
@@ -611,7 +742,12 @@ func NewSystem(opts ...Option) (*System, error) {
 		LoadHorizon:     s.loadHorizon,
 		NoLocationCache: s.noLocCache,
 	})
-	sys := &System{M: m, RT: rt, Net: net, Trace: ring, prof: prof, seed: s.seed, faults: s.faults, parWorkers: s.parWorkers}
+	if optimistic {
+		// After Attach: the reliable-protocol senders must exist so their
+		// record pooling can be switched off.
+		net.EnableOptimistic()
+	}
+	sys := &System{M: m, RT: rt, Net: net, Trace: ring, prof: prof, seed: s.seed, faults: s.faults, exec: s.exec, inj: inj}
 	if ckptOn {
 		// Retention must cover every reliable send, including host-time ones
 		// (e.g. a Migrate before the first Run), so it starts here rather
@@ -692,17 +828,72 @@ func (s *System) startCkpt() {
 }
 
 // Run freezes the system (fixing patterns and building all virtual function
-// tables) and executes until quiescence — on the parallel executor when
-// WithParallelSim was given, sequentially otherwise. When checkpointing is
-// active the baseline checkpoint, periodic snapshot rounds and any declared
+// tables) and executes until quiescence — on the executor WithExecutor
+// selected, sequentially by default. When checkpointing is active the
+// baseline checkpoint, periodic snapshot rounds and any declared
 // crash/restart events are installed before the first event fires.
 func (s *System) Run() error {
 	s.startCkpt()
-	if s.parWorkers > 1 {
-		s.RT.Freeze()
-		return s.M.ParallelRun(s.parWorkers)
+	if s.exec.workers > 1 {
+		switch s.exec.kind {
+		case execConservative:
+			s.RT.Freeze()
+			return s.M.ParallelRun(s.exec.workers)
+		case execOptimistic:
+			return s.runOptimistic()
+		}
 	}
 	return s.RT.Run()
+}
+
+// runOptimistic drives the machine under the Time Warp executor. Lane 0 (the
+// host lane, which owns no node state) is permanently fenced; when the
+// checkpoint subsystem is active its marker rounds are fenced too — the next
+// scheduled tick bounds every window, and an in-flight round forces serial
+// stepping until the cut completes.
+func (s *System) runOptimistic() error {
+	s.RT.Freeze()
+	cfg := sim.OptimisticConfig{
+		Window:           s.exec.opt.Window,
+		MaxRollbackDepth: s.exec.opt.MaxRollbackDepth,
+		GVTInterval:      s.exec.opt.GVTInterval,
+		Saver:            parexec.NewTimeWarpSaver(s.RT, s.M, s.Net, s.inj),
+		FenceLanes:       []int{0},
+	}
+	if g := s.ckpt; g != nil {
+		cfg.Fence = func() sim.Time {
+			// The engine ignores negative fences; a pending tick at virtual
+			// time 0 cannot happen (intervals are positive).
+			if t := g.NextTick(); t > 0 {
+				return t
+			}
+			return -1
+		}
+		cfg.SerialNow = g.RoundInFlight
+	}
+	return s.M.OptimisticRun(s.exec.workers, cfg)
+}
+
+// OptStats reports the Time Warp executor's deterministic run statistics
+// (windows, speculative windows, rollbacks, serial steps). All zeros unless
+// Run executed under WithExecutor(Optimistic(...)).
+func (s *System) OptStats() sim.OptStats { return s.M.OptStats() }
+
+// SyncWindows reports how many parallel windows — one cross-lane
+// synchronization barrier each — the run executed: lookahead-width windows
+// under Conservative(n), adaptive windows under Optimistic(n). The count
+// is deterministic (it depends only on virtual time, never on the worker
+// schedule) and is the machine-independent scaling signal: fewer, wider
+// windows mean less barrier synchronization per event. Zero for
+// sequential runs.
+func (s *System) SyncWindows() uint64 {
+	switch s.exec.kind {
+	case execConservative:
+		return s.M.ParWindows()
+	case execOptimistic:
+		return s.M.OptStats().Windows
+	}
+	return 0
 }
 
 // Checkpointing returns the checkpoint manager, or nil when neither

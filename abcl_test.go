@@ -103,17 +103,17 @@ func TestChunkStockOptions(t *testing.T) {
 // combinations alike.
 func TestOptionValidationAggregated(t *testing.T) {
 	_, err := abcl.NewSystem(
-		abcl.WithNodes(0),                   // bad argument
-		abcl.WithSeed(0),                    // bad argument
-		abcl.WithTrace(64),                  // incompatible with parallel sim
-		abcl.WithParallelSim(4),             //
-		abcl.WithDelayedAcks(abcl.Time(50)), // needs the reliable protocol
+		abcl.WithNodes(0),                       // bad argument
+		abcl.WithSeed(0),                        // bad argument
+		abcl.WithTrace(64),                      // incompatible with a parallel executor
+		abcl.WithExecutor(abcl.Conservative(4)), //
+		abcl.WithDelayedAcks(abcl.Time(50)),     // needs the reliable protocol
 	)
 	if err == nil {
 		t.Fatal("misconfigured NewSystem must fail")
 	}
 	for _, frag := range []string{
-		"WithNodes(0)", "WithSeed(0)", "WithParallelSim", "WithDelayedAcks",
+		"WithNodes(0)", "WithSeed(0)", "WithExecutor", "WithDelayedAcks",
 	} {
 		if !strings.Contains(err.Error(), frag) {
 			t.Errorf("aggregated error misses %q:\n%v", frag, err)
@@ -128,8 +128,15 @@ func TestOptionCombinationErrors(t *testing.T) {
 		name string
 		opts []abcl.Option
 	}{
-		{"trace+parallel", []abcl.Option{abcl.WithTrace(64), abcl.WithParallelSim(2)}},
-		{"checkpoint+parallel", []abcl.Option{abcl.WithNodes(2), abcl.WithCheckpoint(abcl.Time(1000)), abcl.WithParallelSim(2)}},
+		{"trace+conservative", []abcl.Option{abcl.WithTrace(64), abcl.WithExecutor(abcl.Conservative(2))}},
+		{"trace+optimistic", []abcl.Option{abcl.WithTrace(64), abcl.WithExecutor(abcl.Optimistic(2, abcl.OptimisticOptions{}))}},
+		{"trace+parallel (deprecated alias)", []abcl.Option{abcl.WithTrace(64), abcl.WithParallelSim(2)}},
+		{"checkpoint+conservative", []abcl.Option{abcl.WithNodes(2), abcl.WithCheckpoint(abcl.Time(1000)), abcl.WithExecutor(abcl.Conservative(2))}},
+		{"profiler+optimistic", []abcl.Option{abcl.WithNodes(2), abcl.WithProfiler(abcl.ProfileOptions{Window: abcl.Time(1000)}), abcl.WithExecutor(abcl.Optimistic(2, abcl.OptimisticOptions{}))}},
+		{"negative workers", []abcl.Option{abcl.WithExecutor(abcl.Conservative(-1))}},
+		{"negative window", []abcl.Option{abcl.WithExecutor(abcl.Optimistic(2, abcl.OptimisticOptions{Window: -1}))}},
+		{"negative rollback depth", []abcl.Option{abcl.WithExecutor(abcl.Optimistic(2, abcl.OptimisticOptions{MaxRollbackDepth: -1}))}},
+		{"gvt below window", []abcl.Option{abcl.WithExecutor(abcl.Optimistic(2, abcl.OptimisticOptions{Window: abcl.Time(1000), GVTInterval: abcl.Time(500)}))}},
 		{"delayed-acks unreliable", []abcl.Option{abcl.WithNodes(2), abcl.WithDelayedAcks(abcl.Time(50))}},
 	}
 	for _, tc := range cases {
@@ -138,9 +145,14 @@ func TestOptionCombinationErrors(t *testing.T) {
 		}
 	}
 	// The same ingredients in compatible form still construct.
-	if _, err := abcl.NewSystem(abcl.WithNodes(2), abcl.WithReliable(), abcl.WithDelayedAcks(abcl.Time(50))); err == nil {
-	} else {
+	if _, err := abcl.NewSystem(abcl.WithNodes(2), abcl.WithReliable(), abcl.WithDelayedAcks(abcl.Time(50))); err != nil {
 		t.Errorf("reliable delayed acks must construct: %v", err)
+	}
+	// Checkpointing is forbidden on the conservative executor but legal on
+	// the optimistic one, which fences the marker protocol.
+	if _, err := abcl.NewSystem(abcl.WithNodes(2), abcl.WithCheckpoint(abcl.Time(1000)),
+		abcl.WithExecutor(abcl.Optimistic(2, abcl.OptimisticOptions{}))); err != nil {
+		t.Errorf("checkpoint + optimistic executor must construct: %v", err)
 	}
 }
 

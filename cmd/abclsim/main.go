@@ -104,7 +104,9 @@ var (
 	reliable    = flag.Bool("reliable", false, "run the ack/retry protocol even on a fault-free network")
 	noLocCache  = flag.Bool("no-loc-cache", false, "disable the post-migration remote-location cache")
 
-	parSim     = flag.Int("parallel-sim", 0, "run the event engine on the parallel executor with this many workers (0/1 = sequential)")
+	execFlag   executorFlag
+	optWindow  timeFlag // -optimistic-window
+	parSim     = flag.Int("parallel-sim", 0, "deprecated: alias for -executor conservative:N")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON  = flag.String("bench-json", "", "write a wall-clock benchmark summary (JSON) to this file")
@@ -131,6 +133,64 @@ func init() {
 		"crash fault node@at+restartAfter (ns or Go durations, e.g. 2@1ms+300us); repeatable; implies checkpoint support")
 	flag.Var(&profWindow, "profile-window",
 		"cost-profiler time-series slice width, as ns or a Go duration; implies -cost-table")
+	flag.Var(&execFlag, "executor",
+		"execution strategy: sequential | conservative[:N] | optimistic[:N] (N workers, default GOMAXPROCS)")
+	flag.Var(&optWindow, "optimistic-window",
+		"optimistic executor: speculation window width, as ns or a Go duration (0 = adaptive default)")
+}
+
+// executorFlag is the -executor value: sequential, or a parallel strategy
+// with an optional ":N" worker count.
+type executorFlag struct {
+	kind    string
+	workers int
+}
+
+func (e *executorFlag) String() string {
+	if e.kind == "" || e.kind == "sequential" {
+		return "sequential"
+	}
+	return fmt.Sprintf("%s:%d", e.kind, e.workers)
+}
+
+func (e *executorFlag) Set(s string) error {
+	name, ns, hasN := strings.Cut(s, ":")
+	w := runtime.GOMAXPROCS(0)
+	if hasN {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 1 {
+			return fmt.Errorf("executor %q: worker count must be a positive integer", s)
+		}
+		w = v
+	}
+	switch name {
+	case "sequential":
+		if hasN {
+			return fmt.Errorf("executor %q: sequential takes no worker count", s)
+		}
+		*e = executorFlag{kind: name}
+	case "conservative", "optimistic":
+		*e = executorFlag{kind: name, workers: w}
+	default:
+		return fmt.Errorf("executor %q: want sequential | conservative[:N] | optimistic[:N]", s)
+	}
+	return nil
+}
+
+// executorSpec folds -executor and the deprecated -parallel-sim into one
+// spec; ok is false when the run is sequential.
+func executorSpec() (spec abcl.ExecutorSpec, ok bool) {
+	kind, workers := execFlag.kind, execFlag.workers
+	if kind == "" && *parSim > 1 {
+		kind, workers = "conservative", *parSim
+	}
+	switch kind {
+	case "conservative":
+		return abcl.Conservative(workers), workers > 1
+	case "optimistic":
+		return abcl.Optimistic(workers, abcl.OptimisticOptions{Window: abcl.Time(optWindow)}), workers > 1
+	}
+	return abcl.Sequential(), false
 }
 
 // benchEvents/benchMsgs are filled by workloads that expose their engine and
@@ -236,8 +296,8 @@ func sysOptions() []abcl.Option {
 	if *traceN > 0 {
 		opts = append(opts, abcl.WithTrace(*traceN))
 	}
-	if *parSim > 1 {
-		opts = append(opts, abcl.WithParallelSim(*parSim))
+	if spec, ok := executorSpec(); ok {
+		opts = append(opts, abcl.WithExecutor(spec))
 	}
 	if p := faultPlan(); p.Enabled() {
 		opts = append(opts, abcl.WithFaults(p))
@@ -285,8 +345,8 @@ func observerOpts() []abcl.Option {
 // observers, parallel execution, location-cache control.
 func extraOpts() []abcl.Option {
 	opts := observerOpts()
-	if *parSim > 1 {
-		opts = append(opts, abcl.WithParallelSim(*parSim))
+	if spec, ok := executorSpec(); ok {
+		opts = append(opts, abcl.WithExecutor(spec))
 	}
 	if *noLocCache {
 		opts = append(opts, abcl.WithoutLocationCache())
@@ -471,22 +531,26 @@ func writeMemProfile(path string) error {
 // before/after comparisons (make bench-baseline / bench-compare).
 func writeBenchJSON(path string, wall time.Duration) error {
 	ev, msgs := benchEvents.Load(), benchMsgs.Load()
+	executor := "sequential"
+	if spec, ok := executorSpec(); ok {
+		executor = spec.String()
+	}
 	sum := struct {
 		Workload     string  `json:"workload"`
 		Nodes        int     `json:"nodes"`
-		ParallelSim  int     `json:"parallel_sim"`
+		Executor     string  `json:"executor"`
 		WallMs       float64 `json:"wall_ms"`
 		Events       uint64  `json:"events"`
 		EventsPerSec float64 `json:"events_per_sec"`
 		Messages     uint64  `json:"messages"`
 		MsgsPerSec   float64 `json:"msgs_per_sec"`
 	}{
-		Workload:    *workload,
-		Nodes:       *nodes,
-		ParallelSim: *parSim,
-		WallMs:      float64(wall.Nanoseconds()) / 1e6,
-		Events:      ev,
-		Messages:    msgs,
+		Workload: *workload,
+		Nodes:    *nodes,
+		Executor: executor,
+		WallMs:   float64(wall.Nanoseconds()) / 1e6,
+		Events:   ev,
+		Messages: msgs,
 	}
 	if s := wall.Seconds(); s > 0 {
 		sum.EventsPerSec = float64(ev) / s
@@ -578,8 +642,17 @@ func packConfig() (runpack.RunConfig, error) {
 		Reliable:        *reliable,
 		NoLocCache:      *noLocCache,
 		CkptIntervalNs:  int64(ckptInterval),
-		ParallelSim:     *parSim,
 		ProfileWindowNs: int64(profWindow),
+	}
+	if kind := execFlag.kind; kind != "" && kind != "sequential" {
+		cfg.Executor = kind
+		cfg.Workers = execFlag.workers
+		if kind == "optimistic" {
+			cfg.OptimisticWindowNs = int64(optWindow)
+		}
+	} else if *parSim > 1 {
+		cfg.Executor = "conservative"
+		cfg.Workers = *parSim
 	}
 	for _, c := range crashes {
 		cfg.Crashes = append(cfg.Crashes, runpack.Crash{
@@ -622,7 +695,7 @@ func runPack() error {
 	fmt.Printf("  trace     %d events, sha256 %s...\n",
 		p.Manifest.TraceEvents, p.Manifest.TraceSHA256[:12])
 	if p.Manifest.ParallelChecked {
-		fmt.Println("  parallel  executor cross-checked against the sequential run")
+		fmt.Printf("  parallel  %s executor cross-checked against the sequential run\n", p.Manifest.Executor)
 	}
 	fmt.Printf("  next      abclsim verify %s\n", path)
 	return nil

@@ -7,6 +7,8 @@
 //	                        # figure 5, N=12 included in figure 6); several
 //	                        # minutes of CPU
 //	figures -csv            # machine-readable output
+//	figures -pack out/      # also write one verifiable runpack per sweep
+//	                        # point and print its artifact id per row
 package main
 
 import (
@@ -18,13 +20,15 @@ import (
 	"repro/internal/apps/nqueens"
 	"repro/internal/exp"
 	"repro/internal/machine"
+	"repro/internal/runpack"
 )
 
 var (
-	figure = flag.Int("figure", 0, "figure to print (5 or 6); 0 prints both")
-	big    = flag.Bool("big", false, "use the paper's full problem sizes (minutes of CPU)")
-	csv    = flag.Bool("csv", false, "CSV output")
-	seed   = flag.Int64("seed", 1, "placement seed")
+	figure  = flag.Int("figure", 0, "figure to print (5 or 6); 0 prints both")
+	big     = flag.Bool("big", false, "use the paper's full problem sizes (minutes of CPU)")
+	csv     = flag.Bool("csv", false, "CSV output")
+	seed    = flag.Int64("seed", 1, "placement seed")
+	packDir = flag.String("pack", "", "write a runpack per sweep point into this directory (see DESIGN.md §13)")
 )
 
 func main() {
@@ -51,6 +55,19 @@ func check(err error) {
 	}
 }
 
+// packPoint writes the verifiable runpack for one sweep configuration and
+// returns its artifact id ("-" when packing is off). The pack re-executes
+// the run under the deterministic tracer, so the id pins the exact table
+// row: `abclsim verify <pack>` replays and byte-compares it.
+func packPoint(cfg runpack.RunConfig) string {
+	if *packDir == "" {
+		return "-"
+	}
+	p, _, err := runpack.Create(cfg, *packDir)
+	check(err)
+	return p.Manifest.ID
+}
+
 func figure5() {
 	sizes := []int{8, 11}
 	if *big {
@@ -59,21 +76,25 @@ func figure5() {
 	procs := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 	pts, err := exp.Figure5(sizes, procs, *seed)
 	check(err)
+	ids := make([]string, len(pts))
+	for i, p := range pts {
+		ids[i] = packPoint(runpack.RunConfig{Workload: "nqueens", N: p.N, Nodes: p.Procs, Seed: *seed})
+	}
 
 	if *csv {
-		fmt.Println("figure,N,procs,elapsed_ms,speedup,utilization")
-		for _, p := range pts {
-			fmt.Printf("5,%d,%d,%.3f,%.2f,%.3f\n", p.N, p.Procs, p.Elapsed.Millis(), p.Speedup, p.Utilization)
+		fmt.Println("figure,N,procs,elapsed_ms,speedup,utilization,pack_id")
+		for i, p := range pts {
+			fmt.Printf("5,%d,%d,%.3f,%.2f,%.3f,%s\n", p.N, p.Procs, p.Elapsed.Millis(), p.Speedup, p.Utilization, ids[i])
 		}
 		return
 	}
 	fmt.Printf("Figure 5: Speedup for N-queen problem (N = %v)\n", sizes)
 	fmt.Println("----------------------------------------------------------------")
 	fmt.Printf("%4s %6s %14s %10s %8s %8s\n", "N", "procs", "elapsed", "speedup", "ideal", "util")
-	for _, p := range pts {
-		fmt.Printf("%4d %6d %14v %10.1f %8d %8.2f  %s\n",
+	for i, p := range pts {
+		fmt.Printf("%4d %6d %14v %10.1f %8d %8.2f  %s%s\n",
 			p.N, p.Procs, p.Elapsed, p.Speedup, p.Procs, p.Utilization,
-			bar(p.Speedup, float64(p.Procs)))
+			bar(p.Speedup, float64(p.Procs)), packSuffix(ids[i]))
 	}
 	for _, n := range sizes {
 		seq := nqueens.Sequential(n, machine.DefaultConfig(1), 0)
@@ -90,22 +111,38 @@ func figure6() {
 	const procs = 512
 	rows, err := exp.Figure6(sizes, procs, *seed)
 	check(err)
+	naiveIDs := make([]string, len(rows))
+	stackIDs := make([]string, len(rows))
+	for i, r := range rows {
+		naiveIDs[i] = packPoint(runpack.RunConfig{Workload: "nqueens", N: r.N, Nodes: procs, Seed: *seed, Policy: "naive"})
+		stackIDs[i] = packPoint(runpack.RunConfig{Workload: "nqueens", N: r.N, Nodes: procs, Seed: *seed, Policy: "stack"})
+	}
 
 	if *csv {
-		fmt.Println("figure,N,naive_ms,stack_ms,speedup_pct,dormant_fraction")
-		for _, r := range rows {
-			fmt.Printf("6,%d,%.3f,%.3f,%.1f,%.3f\n", r.N, r.NaiveMs, r.StackMs, r.SpeedupPct, r.DormantFrac)
+		fmt.Println("figure,N,naive_ms,stack_ms,speedup_pct,dormant_fraction,naive_pack_id,stack_pack_id")
+		for i, r := range rows {
+			fmt.Printf("6,%d,%.3f,%.3f,%.1f,%.3f,%s,%s\n", r.N, r.NaiveMs, r.StackMs, r.SpeedupPct, r.DormantFrac, naiveIDs[i], stackIDs[i])
 		}
 		return
 	}
 	fmt.Printf("Figure 6: Effect of stack scheduling (N-queens on %d procs)\n", procs)
 	fmt.Println("----------------------------------------------------------------")
 	fmt.Printf("%4s %16s %16s %10s %10s\n", "N", "naive(ms)", "stack(ms)", "speedup", "dormant")
-	for _, r := range rows {
-		fmt.Printf("%4d %16.1f %16.1f %9.1f%% %9.0f%%\n",
-			r.N, r.NaiveMs, r.StackMs, r.SpeedupPct, 100*r.DormantFrac)
+	for i, r := range rows {
+		fmt.Printf("%4d %16.1f %16.1f %9.1f%% %9.0f%%%s%s\n",
+			r.N, r.NaiveMs, r.StackMs, r.SpeedupPct, 100*r.DormantFrac,
+			packSuffix("naive "+naiveIDs[i]), packSuffix("stack "+stackIDs[i]))
 	}
 	fmt.Println("   (paper: ~30% speedup; ~75% of local messages to dormant objects)")
+}
+
+// packSuffix formats a pack annotation for table rows; empty when -pack is
+// off so the default output is unchanged.
+func packSuffix(s string) string {
+	if *packDir == "" {
+		return ""
+	}
+	return "  [" + s + "]"
 }
 
 // bar renders a small ASCII bar of achieved vs ideal speedup.

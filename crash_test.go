@@ -288,9 +288,9 @@ func TestCheckpointRequiresSupport(t *testing.T) {
 		t.Error("WithCheckpoint(0) accepted")
 	}
 	if _, err := abcl.NewSystem(
-		abcl.WithNodes(4), abcl.WithCheckpoint(1000), abcl.WithParallelSim(4),
+		abcl.WithNodes(4), abcl.WithCheckpoint(1000), abcl.WithExecutor(abcl.Conservative(4)),
 	); err == nil {
-		t.Error("WithCheckpoint + WithParallelSim accepted")
+		t.Error("WithCheckpoint + Conservative executor accepted")
 	}
 	sys, err := abcl.NewSystem(abcl.WithNodes(2))
 	if err != nil {

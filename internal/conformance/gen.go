@@ -14,7 +14,6 @@ package conformance
 
 import (
 	"math/rand"
-	"sync"
 
 	"repro/internal/core"
 )
@@ -30,19 +29,23 @@ type Program struct {
 	maxBudget                       int
 
 	// Per-build state (reset by Build).
-	patPoke  core.PatternID // poke budget value  (past)
-	patAdd   core.PatternID // add1 value         (now: replies value+1)
-	patOpen  core.PatternID // open value         (past, gates)
-	patData  core.PatternID // data value         (past, gates)
-	patSpawn core.PatternID // spawn depth value  (past, spawners)
+	patPoke   core.PatternID // poke budget value   (past)
+	patAdd    core.PatternID // add1 value          (now: replies value+1)
+	patOpen   core.PatternID // open value          (past, gates)
+	patData   core.PatternID // data value          (past, gates)
+	patSpawn  core.PatternID // spawn depth value child (past, spawners)
+	patReport core.PatternID // report value        (past, collector)
 
 	accs    []core.Address // all accumulating objects, in creation order
 	targets []core.Address // forwarding table shared by all relays
 	adder   core.Address
-	rng     *rand.Rand
-
-	childMu  sync.Mutex
-	children []core.Address // dynamically created accumulators
+	// collector accumulates the contributions of dynamically created
+	// spawner children. Keeping that tally inside the simulation (rather
+	// than in a host-side slice of child addresses) keeps Observe valid
+	// under engines that replay or roll back events — host state cannot
+	// be rewound, object state can.
+	collector core.Address
+	rng       *rand.Rand
 }
 
 // Generate derives a program shape from the seed.
@@ -75,7 +78,8 @@ func (p *Program) Build(rt *core.Runtime) func() {
 	p.patAdd = rt.Reg.Register("conf.add1", 1)
 	p.patOpen = rt.Reg.Register("conf.open", 1)
 	p.patData = rt.Reg.Register("conf.data", 1)
-	p.patSpawn = rt.Reg.Register("conf.spawn", 2)
+	p.patSpawn = rt.Reg.Register("conf.spawn", 3)
+	p.patReport = rt.Reg.Register("conf.report", 1)
 	p.accs = nil
 	p.targets = nil
 
@@ -137,19 +141,31 @@ func (p *Program) Build(rt *core.Runtime) func() {
 		ctx.SetState(1, core.IntV(1))
 	})
 
-	// Spawner: accumulates, creates a child relay-like object via the
-	// placement policy and pokes it.
+	// Collector: accumulates the reported contributions of dynamically
+	// created children, so dynamic accumulation stays observable without
+	// the harness holding child addresses on the host side.
+	collectorCls := rt.DefineClass("conf.collector", 1, zero1)
+	collectorCls.Method(p.patReport, func(ctx *core.Ctx) {
+		ctx.SetState(0, core.IntV(ctx.State(0).Int()+ctx.Arg(0).Int()))
+	})
+
+	// Spawner: accumulates, creates a child spawner via the placement
+	// policy and pokes it. Dynamically created children (arg 2 set) also
+	// report their contribution to the collector, which is what Observe
+	// reads — the children themselves are not enumerable from the host.
 	var spawnerCls *core.Class
 	spawnerCls = rt.DefineClass("conf.spawner", 1, zero1)
 	spawnerCls.Method(p.patSpawn, func(ctx *core.Ctx) {
 		depth, v := ctx.Arg(0).Int(), ctx.Arg(1).Int()
 		ctx.SetState(0, core.IntV(ctx.State(0).Int()+v))
+		if ctx.Arg(2).Int() != 0 {
+			ctx.SendPast(p.collector, p.patReport, core.IntV(v))
+		}
 		if depth == 0 {
 			return
 		}
 		ctx.Create(spawnerCls, nil, func(ctx *core.Ctx, child core.Address) {
-			p.noteChild(child)
-			ctx.SendPast(child, p.patSpawn, core.IntV(depth-1), core.IntV(v))
+			ctx.SendPast(child, p.patSpawn, core.IntV(depth-1), core.IntV(v), core.IntV(1))
 		})
 	})
 
@@ -161,6 +177,7 @@ func (p *Program) Build(rt *core.Runtime) func() {
 		return a
 	}
 	p.adder = place(adderCls)
+	p.collector = place(collectorCls)
 	for i := 0; i < p.relays; i++ {
 		a := place(relayCls)
 		p.accs = append(p.accs, a)
@@ -194,7 +211,7 @@ func (p *Program) Build(rt *core.Runtime) func() {
 				rt.Inject(t, p.patPoke, core.IntV(budget), core.IntV(v))
 			case 1:
 				s := spawners[rng.Intn(len(spawners))]
-				rt.Inject(s, p.patSpawn, core.IntV(budget%6), core.IntV(v))
+				rt.Inject(s, p.patSpawn, core.IntV(budget%6), core.IntV(v), core.IntV(0))
 			case 2:
 				g := gates[rng.Intn(len(gates))]
 				rt.Inject(g, p.patOpen, core.IntV(v))
@@ -204,16 +221,10 @@ func (p *Program) Build(rt *core.Runtime) func() {
 	}
 }
 
-// noteChild records dynamically created accumulators so Observe can sum
-// them. Called from node execution contexts: under the parallel engine a
-// mutex guards the slice.
-func (p *Program) noteChild(a core.Address) {
-	p.childMu.Lock()
-	p.children = append(p.children, a)
-	p.childMu.Unlock()
-}
-
-// Observe reads the outcome of a quiescent run.
+// Observe reads the outcome of a quiescent run. Every accumulator it reads
+// — the fixed objects plus the collector that stands in for the dynamic
+// children — is simulation state, so the observation is valid under every
+// engine, including ones that replay or roll back events.
 func (p *Program) Observe(rt *core.Runtime) Expected {
 	var sum int64
 	read := func(a core.Address) int64 {
@@ -226,11 +237,7 @@ func (p *Program) Observe(rt *core.Runtime) Expected {
 	for _, a := range p.accs {
 		sum += read(a)
 	}
-	p.childMu.Lock()
-	for _, a := range p.children {
-		sum += read(a)
-	}
-	p.childMu.Unlock()
+	sum += read(p.collector)
 	c := rt.TotalStats()
 	return Expected{
 		Sum:       sum,
@@ -240,9 +247,6 @@ func (p *Program) Observe(rt *core.Runtime) Expected {
 }
 
 // Reset clears per-run observation state so the Program can be rebuilt on a
-// fresh runtime.
-func (p *Program) Reset() {
-	p.childMu.Lock()
-	p.children = nil
-	p.childMu.Unlock()
-}
+// fresh runtime. (All observation state now lives inside the simulation and
+// is rebuilt by Build; Reset is kept for the harness call sites.)
+func (p *Program) Reset() {}

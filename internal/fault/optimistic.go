@@ -1,0 +1,61 @@
+package fault
+
+// Optimistic-execution support. Speculative events that roll back must not
+// leave a trace in the fault subsystem, which has two kinds of mutable
+// state: the whole-run tally counters and the per-link random streams.
+//
+//   - Tallies: the atomic counters cannot be rolled back per lane, so
+//     optimistic mode switches to per-lane tallies (entry src owns the
+//     counts its lane generated) that a lane snapshot captures and restores;
+//     the accessors sum them, which is only safe once the run has finished
+//     (reports) or between windows.
+//
+//   - Streams: entry (src, dst) is only ever advanced from src's lane, so
+//     node src's snapshot owns its outgoing rng row. Without the restore, a
+//     rolled-back transmission attempt would consume stream draws twice and
+//     the replay would see different fault decisions than a sequential run.
+
+// laneTally is one lane's fault counts, padded to a cache line so
+// neighbouring lanes do not share one.
+type laneTally struct {
+	drops     uint64
+	dups      uint64
+	pauseHits uint64
+	_         [5]uint64
+}
+
+// SetOptimistic switches the injector to per-lane tallies. Call before the
+// run starts.
+func (in *Injector) SetOptimistic() {
+	in.opt = true
+	in.tallies = make([]laneTally, in.nodes)
+}
+
+// NodeSnap is the per-node rollback snapshot: the node's tally and its
+// outgoing rng row.
+type NodeSnap struct {
+	tally laneTally
+	rng   []uint64
+}
+
+// OptCaptureNode snapshots node's fault state for a speculative window.
+// Runs on the worker goroutine that owns the node's lane.
+func (in *Injector) OptCaptureNode(node int) *NodeSnap {
+	s := &NodeSnap{tally: in.tallies[node], rng: make([]uint64, in.nodes)}
+	row := in.links[node*in.nodes : (node+1)*in.nodes]
+	for d := range row {
+		s.rng[d] = row[d].rng
+	}
+	return s
+}
+
+// OptRestoreNode rolls node's fault state back to its snapshot. A stream
+// that was lazily seeded after the capture returns to zero and reseeds
+// identically on next use.
+func (in *Injector) OptRestoreNode(node int, s *NodeSnap) {
+	in.tallies[node] = s.tally
+	row := in.links[node*in.nodes : (node+1)*in.nodes]
+	for d := range row {
+		row[d].rng = s.rng[d]
+	}
+}

@@ -180,6 +180,11 @@ func (p *Packet) Retain() { p.pooled = false }
 // AcquirePacket returns a zeroed packet from the node's free list (or a new
 // one), marked for recycling at the receiver once its handler has run.
 func (n *Node) AcquirePacket() *Packet {
+	if n.m.opt {
+		// Optimistic mode: a rollback may replay this packet's delivery, so
+		// it must never be recycled out from under the restored event.
+		return &Packet{}
+	}
 	if last := len(n.pktFree) - 1; last >= 0 {
 		p := n.pktFree[last]
 		n.pktFree[last] = nil
@@ -254,6 +259,12 @@ type Machine struct {
 	// bumps it, invalidating every packet launched before the restore (see
 	// Packet.era); zero-cost on the default path.
 	era uint32
+
+	// opt marks optimistic-execution mode: packet pooling is disabled so a
+	// rolled-back delivery can be replayed against an intact packet (see
+	// optimistic.go). optStats accumulates the Time Warp run statistics.
+	opt      bool
+	optStats sim.OptStats
 
 	// Typed event kinds registered with the engine, so the hot delivery
 	// and scheduling paths dispatch through a switch instead of allocating
@@ -407,6 +418,10 @@ func (m *Machine) ParallelRun(workers int) error {
 	_, err := m.Eng.RunParallel(workers, m.Lookahead())
 	return err
 }
+
+// ParWindows reports how many conservative windows (one barrier each) the
+// last ParallelRun executed.
+func (m *Machine) ParWindows() uint64 { return m.Eng.ParWindows() }
 
 // MaxClock returns the largest node clock, i.e. the parallel makespan.
 func (m *Machine) MaxClock() sim.Time {

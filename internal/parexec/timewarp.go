@@ -1,0 +1,74 @@
+package parexec
+
+import (
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/remote"
+	"repro/internal/sim"
+)
+
+// TimeWarpSaver is the composite sim.LaneSaver of the optimistic (Time Warp)
+// executor: it snapshots and restores everything outside the engine that a
+// node's lane mutates — machine state (clock, receive queue, FIFO clamp
+// column, counters), language state (objects, queues, saved contexts,
+// scheduling queue), inter-node state (stocks, protocol cursors, in-flight
+// records, open batches, retention) and fault state (tallies, rng streams).
+//
+// Lane l drives node l-1; lane 0 is the host lane, which owns no node state
+// and is fenced serial by the executor anyway, so its capture is nil.
+type TimeWarpSaver struct {
+	rt  *core.Runtime
+	m   *machine.Machine
+	net *remote.Layer
+	inj *fault.Injector // nil on a fault-free machine
+}
+
+// twSnap is one lane's composite snapshot.
+type twSnap struct {
+	mach *machine.NodeSnap
+	core *core.NodeSnap
+	rem  *remote.NodeSnap
+	flt  *fault.NodeSnap
+}
+
+// NewTimeWarpSaver builds the composite saver. inj may be nil.
+func NewTimeWarpSaver(rt *core.Runtime, m *machine.Machine, net *remote.Layer, inj *fault.Injector) *TimeWarpSaver {
+	return &TimeWarpSaver{rt: rt, m: m, net: net, inj: inj}
+}
+
+// Capture implements sim.LaneSaver; it runs on the worker goroutine that
+// owns the lane, between two of its events.
+func (w *TimeWarpSaver) Capture(lane int) any {
+	if lane == 0 {
+		return nil
+	}
+	node := lane - 1
+	s := &twSnap{
+		mach: w.m.Node(node).OptCapture(),
+		core: w.rt.OptCaptureNode(node),
+		rem:  w.net.OptCaptureNode(node),
+	}
+	if w.inj != nil {
+		s.flt = w.inj.OptCaptureNode(node)
+	}
+	return s
+}
+
+// Restore implements sim.LaneSaver; it runs single-threaded at the window
+// barrier.
+func (w *TimeWarpSaver) Restore(lane int, snap any) {
+	if snap == nil {
+		return
+	}
+	node := lane - 1
+	s := snap.(*twSnap)
+	w.m.Node(node).OptRestore(s.mach)
+	w.rt.OptRestoreNode(node, s.core)
+	w.net.OptRestoreNode(node, s.rem)
+	if s.flt != nil {
+		w.inj.OptRestoreNode(node, s.flt)
+	}
+}
+
+var _ sim.LaneSaver = (*TimeWarpSaver)(nil)

@@ -114,6 +114,7 @@ type Layer struct {
 	bat   *batcher   // nil unless Options.BatchWindow > 0
 	ck    *ckptState // nil unless EnableCheckpoint was called
 	locOn bool       // remote-location cache enabled
+	optim bool       // optimistic-execution mode (see optimistic.go)
 
 	// hWire is the shared receive handler for all layer packets; the
 	// per-send state travels in the packet's Payload as a *wireMsg instead
@@ -181,6 +182,11 @@ func (l *Layer) wirePooled() bool {
 		// Checkpoint retention holds payload records by reference until they
 		// become stable; recycling would rewrite a record the replay path may
 		// still need verbatim.
+		return false
+	}
+	if l.optim {
+		// A rollback replays deliveries whose payload records must still
+		// hold their original content.
 		return false
 	}
 	return l.m.Faults() == nil || l.rel != nil
@@ -609,7 +615,10 @@ func (l *Layer) CreateOn(ctx *core.Ctx, target int, cl *core.Class, ctorArgs []c
 		// memory proportional to the pairs actually communicating.
 		e.seeded = true
 		for i := 0; i < l.opt.StockDepth; i++ {
-			e.chunks = append(e.chunks, l.rt.NewFaultChunk(target))
+			// The chunk is homed on target but allocated from the requester's
+			// lane; NewFaultChunkFrom keeps the registration safe (and
+			// revocable) under optimistic execution.
+			e.chunks = append(e.chunks, l.rt.NewFaultChunkFrom(n.ID(), target))
 		}
 	}
 

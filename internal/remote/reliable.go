@@ -84,11 +84,21 @@ type relSender struct {
 	// before completion so recycling and tracing stay deterministic (map
 	// iteration order must never leak into event order).
 	scratch []uint64
+
+	// noPool disables record recycling (optimistic execution): a rollback
+	// restores in-flight records through their original pointers, which a
+	// speculative release-and-reuse would alias to a different message.
+	noPool bool
 }
 
 // acquireMsg returns a recycled relMsg or allocates one with its retry
 // closure bound to this sender's node.
 func (r *reliable) acquireMsg(mn *machine.Node, s *relSender) *relMsg {
+	if s.noPool {
+		m := &relMsg{}
+		m.retryFn = func() { r.retry(mn, m) }
+		return m
+	}
 	if len(s.retired) > 0 {
 		kept := s.retired[:0]
 		for _, m := range s.retired {
@@ -118,6 +128,9 @@ func (r *reliable) acquireMsg(mn *machine.Node, s *relSender) *relMsg {
 func (s *relSender) releaseMsg(m *relMsg) {
 	m.inner = nil
 	m.payload = nil
+	if s.noPool {
+		return
+	}
 	if m.timer.Pending() {
 		s.retired = append(s.retired, m)
 		return

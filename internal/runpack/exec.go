@@ -38,8 +38,10 @@ type ExecResult struct {
 	TraceSHA256 string
 	TraceEvents int
 	// ParallelChecked records that the configuration also ran on the
-	// parallel executor and produced an identical answer and report.
+	// configured parallel executor and produced an identical answer and
+	// report; Executor names the strategy that was cross-checked.
 	ParallelChecked bool
+	Executor        string
 	// ReportJSON is the canonical report document (answer + system or
 	// scenario report), the bytes stored in the archive's report.json.
 	ReportJSON []byte
@@ -50,6 +52,7 @@ type reportDoc struct {
 	Answer          string            `json:"answer"`
 	ElapsedNs       int64             `json:"elapsed_ns"`
 	ParallelChecked bool              `json:"parallel_checked,omitempty"`
+	Executor        string            `json:"executor,omitempty"`
 	System          *abcl.Report      `json:"system,omitempty"`
 	Scenario        *scenario.Outcome `json:"scenario,omitempty"`
 }
@@ -109,13 +112,25 @@ func (r *ExecResult) ProfileJSONL() []byte {
 	return buf.Bytes()
 }
 
+// executorSpec resolves the configured cross-check executor (only
+// meaningful when ParallelConfigured()).
+func (c RunConfig) executorSpec() abcl.ExecutorSpec {
+	if c.ExecutorKind() == "optimistic" {
+		return abcl.Optimistic(c.ExecutorWorkers(), abcl.OptimisticOptions{
+			Window: sim.Time(c.OptimisticWindowNs),
+		})
+	}
+	return abcl.Conservative(c.ExecutorWorkers())
+}
+
 // Execute runs the configuration deterministically and assembles the
 // replay evidence. The run is always executed sequentially with a JSONL
 // observer and the cost profiler attached (neither perturbs virtual-time
-// results); when ParallelSim > 1 the configuration additionally runs on the
-// parallel executor, and its answer and report must match the sequential
-// run exactly — the byte-identical-to-sequential guarantee, certified at
-// pack time and re-certified by every verify.
+// results); when a parallel executor is configured (conservative or
+// optimistic) the configuration additionally runs on it, and its answer
+// and report must match the sequential run exactly — the
+// byte-identical-to-sequential guarantee, certified at pack time and
+// re-certified by every verify.
 func Execute(cfg RunConfig) (*ExecResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -133,24 +148,27 @@ func Execute(cfg RunConfig) (*ExecResult, error) {
 	res.Trace = buf.Bytes()
 	res.TraceSHA256 = sum(res.Trace)
 	res.TraceEvents = bytes.Count(res.Trace, []byte{'\n'})
-	if cfg.ParallelSim > 1 {
+	if cfg.ParallelConfigured() {
+		spec := cfg.executorSpec()
 		par, err := runOnce(cfg, nil, true)
 		if err != nil {
-			return nil, fmt.Errorf("runpack: parallel cross-run: %w", err)
+			return nil, fmt.Errorf("runpack: %s cross-run: %w", spec, err)
 		}
 		if par.Answer != res.Answer {
-			return nil, fmt.Errorf("runpack: parallel executor diverged from sequential: answer %q != %q", par.Answer, res.Answer)
+			return nil, fmt.Errorf("runpack: %s executor diverged from sequential: answer %q != %q", spec, par.Answer, res.Answer)
 		}
 		seqJSON, parJSON := stripProfile(res.System), stripProfile(par.System)
 		if !bytes.Equal(seqJSON, parJSON) {
-			return nil, fmt.Errorf("runpack: parallel executor diverged from sequential: reports differ:\nsequential: %s\nparallel:   %s", seqJSON, parJSON)
+			return nil, fmt.Errorf("runpack: %s executor diverged from sequential: reports differ:\nsequential: %s\nparallel:   %s", spec, seqJSON, parJSON)
 		}
 		res.ParallelChecked = true
+		res.Executor = spec.String()
 	}
 	res.ReportJSON, err = json.MarshalIndent(reportDoc{
 		Answer:          res.Answer,
 		ElapsedNs:       res.ElapsedNs,
 		ParallelChecked: res.ParallelChecked,
+		Executor:        res.Executor,
 		System:          res.System,
 		Scenario:        res.Outcome,
 	}, "", "  ")
@@ -174,8 +192,8 @@ func stripProfile(r *abcl.Report) []byte {
 }
 
 // runOnce executes the workload once. A nil sink runs bare; parallel
-// selects the parallel executor (and implies no sink and no profiler, which
-// the engine would reject as incompatible).
+// selects the configured parallel executor (and implies no sink and no
+// profiler, which the engine would reject as incompatible).
 func runOnce(cfg RunConfig, sink trace.Sink, parallel bool) (*ExecResult, error) {
 	var prof *abcl.ProfileOptions
 	if !parallel {
@@ -189,7 +207,7 @@ func runOnce(cfg RunConfig, sink trace.Sink, parallel bool) (*ExecResult, error)
 		extra = append(extra, abcl.WithoutLocationCache())
 	}
 	if parallel {
-		extra = append(extra, abcl.WithParallelSim(cfg.ParallelSim))
+		extra = append(extra, abcl.WithExecutor(cfg.executorSpec()))
 	}
 	plan := cfg.faultPlan()
 	nodes := cfg.Nodes

@@ -98,10 +98,19 @@ type RunConfig struct {
 	Reliable       bool  `json:"reliable,omitempty"`
 	NoLocCache     bool  `json:"no_loc_cache,omitempty"`
 	CkptIntervalNs int64 `json:"checkpoint_interval_ns,omitempty"`
-	// ParallelSim > 1 additionally runs the configuration on the parallel
-	// executor and cross-checks its Report against the instrumented
-	// sequential run (the trace itself is always captured sequentially —
-	// parallel windows have no single global interleaving to observe).
+	// Executor selects a parallel engine to cross-check at pack time:
+	// "conservative" or "optimistic" (with Workers lanes) re-runs the
+	// configuration on that executor and compares its Report against the
+	// instrumented sequential run. The trace itself is always captured
+	// sequentially — parallel windows have no single global interleaving
+	// to observe. "" or "sequential" packs without a cross-check.
+	Executor string `json:"executor,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	// OptimisticWindowNs overrides the Time Warp speculation window for
+	// the optimistic executor (0 selects the adaptive default).
+	OptimisticWindowNs int64 `json:"optimistic_window_ns,omitempty"`
+	// ParallelSim is the deprecated spelling of Executor "conservative"
+	// with Workers = ParallelSim; old packs keep verifying unchanged.
 	ParallelSim int `json:"parallel_sim,omitempty"`
 	// ProfileWindowNs slices the packed profile into a time series.
 	ProfileWindowNs int64 `json:"profile_window_ns,omitempty"`
@@ -111,9 +120,42 @@ type RunConfig struct {
 	Scenario *scenario.Spec `json:"-"`
 }
 
+// ExecutorKind normalizes the configured executor name, folding the
+// deprecated parallel_sim alias into "conservative". The zero
+// configuration is "sequential" (pack without a cross-check).
+func (c RunConfig) ExecutorKind() string {
+	if c.Executor != "" {
+		return c.Executor
+	}
+	if c.ParallelSim > 1 {
+		return "conservative"
+	}
+	return "sequential"
+}
+
+// ExecutorWorkers is the lane count of the cross-check executor (0 when
+// no parallel executor is configured).
+func (c RunConfig) ExecutorWorkers() int {
+	if c.ExecutorKind() == "sequential" {
+		return 0
+	}
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return c.ParallelSim
+}
+
+// ParallelConfigured reports whether the pack cross-checks a parallel
+// executor at build and verify time.
+func (c RunConfig) ParallelConfigured() bool {
+	return c.ExecutorWorkers() > 1
+}
+
 // Validate rejects configurations Execute cannot replay.
 func (c RunConfig) Validate() error {
 	var errs []error
+	kind := c.ExecutorKind()
+	parallel := c.ParallelConfigured()
 	switch c.Workload {
 	case "nqueens", "pingpong", "forkjoin", "diffusion", "hotkey", "orderbook":
 		if c.Scenario != nil {
@@ -122,20 +164,39 @@ func (c RunConfig) Validate() error {
 	case "scenario":
 		if c.Scenario == nil {
 			errs = append(errs, fmt.Errorf("runpack: scenario workload needs an embedded spec"))
-		} else if err := c.Scenario.Validate(); err != nil {
-			errs = append(errs, err)
+		} else {
+			if err := c.Scenario.Validate(); err != nil {
+				errs = append(errs, err)
+			}
+			if c.Scenario.ParallelConfigured() {
+				errs = append(errs, fmt.Errorf("runpack: scenario packs run sequentially (drop the spec's executor)"))
+			}
 		}
-		if c.ParallelSim > 1 {
-			errs = append(errs, fmt.Errorf("runpack: scenario packs run sequentially (drop parallel_sim)"))
+		if parallel {
+			errs = append(errs, fmt.Errorf("runpack: scenario packs run sequentially (drop the executor)"))
 		}
 	default:
 		errs = append(errs, fmt.Errorf("runpack: unknown workload %q", c.Workload))
 	}
-	if c.Workload == "pingpong" && c.ParallelSim > 1 {
-		errs = append(errs, fmt.Errorf("runpack: pingpong packs run sequentially (drop parallel_sim)"))
+	switch kind {
+	case "sequential", "conservative", "optimistic":
+	default:
+		errs = append(errs, fmt.Errorf("runpack: unknown executor %q", c.Executor))
 	}
-	if c.ParallelSim > 1 && (c.CkptIntervalNs > 0 || len(c.Crashes) > 0) {
-		errs = append(errs, fmt.Errorf("runpack: parallel_sim is incompatible with checkpoints and crash faults"))
+	if c.Executor != "" && c.ParallelSim > 1 {
+		errs = append(errs, fmt.Errorf("runpack: executor and the deprecated parallel_sim are mutually exclusive"))
+	}
+	if c.Workers > 1 && kind == "sequential" {
+		errs = append(errs, fmt.Errorf("runpack: workers requires a parallel executor"))
+	}
+	if c.OptimisticWindowNs != 0 && kind != "optimistic" {
+		errs = append(errs, fmt.Errorf("runpack: optimistic_window_ns requires the optimistic executor"))
+	}
+	if c.Workload == "pingpong" && parallel {
+		errs = append(errs, fmt.Errorf("runpack: pingpong packs run sequentially (drop the executor)"))
+	}
+	if kind == "conservative" && parallel && (c.CkptIntervalNs > 0 || len(c.Crashes) > 0) {
+		errs = append(errs, fmt.Errorf("runpack: the conservative executor is incompatible with checkpoints and crash faults"))
 	}
 	switch c.Policy {
 	case "", "stack", "naive":
@@ -167,9 +228,11 @@ type Manifest struct {
 	// that Verify re-derives by re-executing the configuration.
 	TraceEvents int    `json:"trace_events"`
 	TraceSHA256 string `json:"trace_sha256"`
-	// ParallelChecked records that the parallel executor's Report was
-	// cross-checked against the sequential run at pack time.
+	// ParallelChecked records that a parallel executor's Report was
+	// cross-checked against the sequential run at pack time; Executor
+	// names the strategy that was checked (e.g. "conservative(4)").
 	ParallelChecked bool                  `json:"parallel_checked,omitempty"`
+	Executor        string                `json:"executor,omitempty"`
 	Sections        map[string]SectionSum `json:"sections"`
 }
 
@@ -226,6 +289,7 @@ func (p *Pack) seal() error {
 		TraceEvents:     bytes.Count(p.TraceJSONL, []byte{'\n'}),
 		TraceSHA256:     sum(p.TraceJSONL),
 		ParallelChecked: p.Manifest.ParallelChecked,
+		Executor:        p.Manifest.Executor,
 		Sections:        make(map[string]SectionSum, len(secs)),
 	}
 	names := make([]string, 0, len(secs))
@@ -378,6 +442,7 @@ func Build(cfg RunConfig, res *ExecResult) (*Pack, error) {
 		ProfileJSONL: res.ProfileJSONL(),
 	}
 	p.Manifest.ParallelChecked = res.ParallelChecked
+	p.Manifest.Executor = res.Executor
 	return p, p.seal()
 }
 

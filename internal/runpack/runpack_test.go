@@ -12,7 +12,9 @@ import (
 )
 
 // testConfigs are the acceptance matrix: a fault-free workload, a lossy
-// batched scenario, a crash-recovery scenario, and a parallel-executor run.
+// batched scenario, a crash-recovery scenario, a conservative-executor run
+// (in both the modern and the deprecated parallel_sim spelling), and an
+// optimistic (Time Warp) run.
 func testConfigs(t *testing.T) map[string]RunConfig {
 	t.Helper()
 	lossy, err := scenario.Find("nqueens-lossy-batched")
@@ -24,10 +26,13 @@ func testConfigs(t *testing.T) map[string]RunConfig {
 		t.Fatal(err)
 	}
 	return map[string]RunConfig{
-		"nqueens-plain":   {Workload: "nqueens", N: 6, Nodes: 8, Seed: 1},
-		"scenario-lossy":  {Workload: "scenario", Scenario: &lossy},
-		"scenario-crash":  {Workload: "scenario", Scenario: &crash},
-		"hotkey-parallel": {Workload: "hotkey", Nodes: 8, Clients: 4, Ops: 10, Seed: 1, ParallelSim: 4},
+		"nqueens-plain":      {Workload: "nqueens", N: 6, Nodes: 8, Seed: 1},
+		"scenario-lossy":     {Workload: "scenario", Scenario: &lossy},
+		"scenario-crash":     {Workload: "scenario", Scenario: &crash},
+		"hotkey-parallel":    {Workload: "hotkey", Nodes: 8, Clients: 4, Ops: 10, Seed: 1, ParallelSim: 4},
+		"hotkey-cons":        {Workload: "hotkey", Nodes: 8, Clients: 4, Ops: 10, Seed: 1, Executor: "conservative", Workers: 4},
+		"hotkey-optimistic":  {Workload: "hotkey", Nodes: 8, Clients: 4, Ops: 10, Seed: 1, Executor: "optimistic", Workers: 4},
+		"nqueens-optimistic": {Workload: "nqueens", N: 6, Nodes: 8, Seed: 1, Executor: "optimistic", Workers: 4, CkptIntervalNs: 40_000},
 	}
 }
 
@@ -45,8 +50,13 @@ func TestRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if cfg.ParallelSim > 1 && !p.Manifest.ParallelChecked {
-				t.Error("parallel run was not cross-checked")
+			if cfg.ParallelConfigured() {
+				if !p.Manifest.ParallelChecked {
+					t.Error("parallel run was not cross-checked")
+				}
+				if want := cfg.ExecutorKind(); !strings.HasPrefix(p.Manifest.Executor, want) {
+					t.Errorf("manifest executor %q, want %s(…)", p.Manifest.Executor, want)
+				}
 			}
 			reopened, err := Open(path)
 			if err != nil {
@@ -272,7 +282,13 @@ func TestValidateRejections(t *testing.T) {
 		{"scenario without spec", RunConfig{Workload: "scenario"}, "needs an embedded spec"},
 		{"spec outside scenario", RunConfig{Workload: "nqueens", Scenario: &scenario.Spec{}}, "must not embed"},
 		{"parallel pingpong", RunConfig{Workload: "pingpong", ParallelSim: 4}, "sequentially"},
+		{"optimistic pingpong", RunConfig{Workload: "pingpong", Executor: "optimistic", Workers: 4}, "sequentially"},
 		{"parallel crash", RunConfig{Workload: "nqueens", ParallelSim: 4, CkptIntervalNs: 100, Crashes: []Crash{{Node: 1, AtNs: 5, RestartAfterNs: 5}}}, "incompatible with checkpoints"},
+		{"conservative ckpt", RunConfig{Workload: "nqueens", Executor: "conservative", Workers: 4, CkptIntervalNs: 100}, "incompatible with checkpoints"},
+		{"unknown executor", RunConfig{Workload: "nqueens", Executor: "timewarp", Workers: 4}, "unknown executor"},
+		{"both spellings", RunConfig{Workload: "nqueens", Executor: "conservative", Workers: 4, ParallelSim: 4}, "mutually exclusive"},
+		{"workers sequential", RunConfig{Workload: "nqueens", Workers: 4}, "requires a parallel executor"},
+		{"window without optimistic", RunConfig{Workload: "nqueens", Executor: "conservative", Workers: 4, OptimisticWindowNs: 100}, "requires the optimistic executor"},
 		{"bad policy", RunConfig{Workload: "nqueens", Policy: "fifo"}, "unknown policy"},
 		{"bad placement", RunConfig{Workload: "nqueens", Placement: "hash"}, "unknown placement"},
 	}

@@ -108,7 +108,7 @@ func (v *VerifyResult) Summary(p *Pack) string {
 		fmt.Fprintf(&b, "PASS runpack %s: %s reproduced byte-identically (%d trace events, digest %s)\n",
 			p.Manifest.ID, p.Config.Workload, p.Manifest.TraceEvents, short(p.Manifest.TraceSHA256))
 		if v.Fresh.ParallelChecked {
-			b.WriteString("  parallel executor re-checked against the sequential run\n")
+			fmt.Fprintf(&b, "  %s executor re-checked against the sequential run\n", v.Fresh.Executor)
 		}
 		return b.String()
 	}

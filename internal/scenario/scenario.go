@@ -157,8 +157,38 @@ type Spec struct {
 	// per-slice "where did the time go" digest is appended to the report.
 	ProfileWindowNs int64 `json:"profile_window_ns,omitempty"`
 
+	// Executor selects the execution engine for both runs: "" or
+	// "sequential" (the default), "conservative" or "optimistic" with
+	// Workers lanes. Parallel engines forbid observers, so a spec that
+	// names one cannot be packed (runpack traces are captured
+	// sequentially). OptimisticWindowNs overrides the Time Warp
+	// speculation window (0 = adaptive default).
+	Executor           string `json:"executor,omitempty"`
+	Workers            int    `json:"workers,omitempty"`
+	OptimisticWindowNs int64  `json:"optimistic_window_ns,omitempty"`
+
 	Faults Faults `json:"faults"`
 	Assert Assert `json:"assert"`
+}
+
+// ParallelConfigured reports whether the spec names a parallel execution
+// engine (which forbids observers, and therefore packing).
+func (sp Spec) ParallelConfigured() bool {
+	return (sp.Executor == "conservative" || sp.Executor == "optimistic") && sp.Workers > 1
+}
+
+// executorOption translates the spec's executor knob into a System
+// option; ok is false for sequential specs.
+func (sp Spec) executorOption() (abcl.Option, bool) {
+	if !sp.ParallelConfigured() {
+		return nil, false
+	}
+	if sp.Executor == "optimistic" {
+		return abcl.WithExecutor(abcl.Optimistic(sp.Workers, abcl.OptimisticOptions{
+			Window: sim.Time(sp.OptimisticWindowNs),
+		})), true
+	}
+	return abcl.WithExecutor(abcl.Conservative(sp.Workers)), true
 }
 
 // Validate rejects malformed specs before anything runs. Like NewSystem's
@@ -188,6 +218,21 @@ func (sp Spec) Validate() error {
 		}
 	default:
 		errs = append(errs, fmt.Errorf("scenario %s: unknown workload %q", name, sp.Workload))
+	}
+	switch sp.Executor {
+	case "", "sequential", "conservative", "optimistic":
+	default:
+		errs = append(errs, fmt.Errorf("scenario %s: unknown executor %q", name, sp.Executor))
+	}
+	if sp.Workers > 1 && (sp.Executor == "" || sp.Executor == "sequential") {
+		errs = append(errs, fmt.Errorf("scenario %s: workers requires a parallel executor", name))
+	}
+	if sp.OptimisticWindowNs != 0 && sp.Executor != "optimistic" {
+		errs = append(errs, fmt.Errorf("scenario %s: optimistic_window_ns requires the optimistic executor", name))
+	}
+	if sp.Executor == "conservative" && sp.ParallelConfigured() &&
+		(sp.CheckpointIntervalNs > 0 || len(sp.Faults.Crashes) > 0) {
+		errs = append(errs, fmt.Errorf("scenario %s: the conservative executor is incompatible with checkpoints and crash faults", name))
 	}
 	// The fault schedule is only checkable against a sane fleet size; with
 	// nodes < 1 every rule would drown in out-of-range noise.
@@ -325,6 +370,9 @@ func runWorkload(sp Spec, plan abcl.FaultPlan, ro RunOpts) (RunResult, error) {
 	var extra []abcl.Option
 	if ro.Observer != nil {
 		extra = append(extra, abcl.WithObserver(ro.Observer))
+	}
+	if opt, ok := sp.executorOption(); ok {
+		extra = append(extra, opt)
 	}
 	switch sp.Workload {
 	case "nqueens":

@@ -197,8 +197,16 @@ type Engine struct {
 	provBase uint64 // e.seq at window start; provisional seqs are > provBase
 	winEnd   Time
 	limitHit atomic.Bool // set by a worker that tripped the event limit
+	conflict atomic.Bool // optimistic window: a cross-lane birth landed in-window
+	optStats OptStats    // statistics of the last RunOptimistic drive
+	parWins  uint64      // windows (barriers) of the last RunParallel drive
 	heads    []int       // barrier scratch: per-active-lane log cursor
 }
+
+// ParWindows reports how many conservative windows — one barrier each —
+// the last RunParallel drive executed. Deterministic: the window schedule
+// depends only on virtual time and the lookahead, never on the workers.
+func (e *Engine) ParWindows() uint64 { return e.parWins }
 
 // NewEngine returns an empty engine at time zero with a single lane.
 func NewEngine() *Engine {
@@ -304,6 +312,11 @@ func (e *Engine) post(src, dst int, at Time, kind Kind, fn func(), arg any) {
 			// provisional sequence number that encodes the birth index and
 			// preserves lane-local order (see parallel.go).
 			sl.push(event{at: at, seq: e.provBase + 1 + uint64(idx), kind: kind, fn: fn, arg: arg})
+		} else if dst != src && at < e.winEnd {
+			// A cross-lane birth inside the window: impossible under the
+			// conservative lookahead, a straggler under speculation — the
+			// optimistic runner rolls the window back (see optimistic.go).
+			e.conflict.Store(true)
 		}
 		return
 	}
@@ -409,7 +422,7 @@ func (e *Engine) RunUntil(deadline Time) (uint64, error) {
 		n++
 		e.fired++
 		if e.limit != 0 && e.fired > e.limit {
-			return n, fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
+			return n, errEventLimit(e.limit, e.now)
 		}
 	}
 }

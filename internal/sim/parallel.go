@@ -50,6 +50,11 @@ import (
 // maxTime is the largest representable virtual time.
 const maxTime = Time(1<<63 - 1)
 
+// errEventLimit is the shared event-limit error of every runner.
+func errEventLimit(limit uint64, at Time) error {
+	return fmt.Errorf("sim: event limit %d exceeded at t=%v", limit, at)
+}
+
 // RunParallel fires all pending events like Run, executing independent
 // lanes concurrently on up to `workers` goroutines within successive
 // virtual-time windows of width `lookahead`. It falls back to the
@@ -62,9 +67,11 @@ func (e *Engine) RunParallel(workers int, lookahead Time) (uint64, error) {
 	}
 	e.stopped = false
 	e.limitHit.Store(false)
+	e.parWins = 0
 	var total uint64
 	active := make([]int32, 0, len(e.lanes))
 	for len(e.order) > 0 && !e.stopped {
+		e.parWins++
 		start := e.lanes[e.order[0]].heap[0].at
 		end := start + lookahead
 		if end < start { // overflow
@@ -230,7 +237,7 @@ func (e *Engine) barrier(active []int32) (uint64, error) {
 	e.fired += fired
 	e.orderRebuild()
 	if e.limitHit.Load() || (e.limit != 0 && e.fired > e.limit) {
-		return fired, fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
+		return fired, errEventLimit(e.limit, e.now)
 	}
 	return fired, nil
 }

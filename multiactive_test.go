@@ -86,7 +86,7 @@ func runGroupedContention(t *testing.T, extra ...abcl.Option) (int64, abcl.Time,
 // and must not introduce cross-lane nondeterminism.
 func TestMultiactiveParallelEquivalence(t *testing.T) {
 	seqDone, seqElapsed, seqStats := runGroupedContention(t)
-	parDone, parElapsed, parStats := runGroupedContention(t, abcl.WithParallelSim(4))
+	parDone, parElapsed, parStats := runGroupedContention(t, abcl.WithExecutor(abcl.Conservative(4)))
 	if seqDone != parDone {
 		t.Errorf("completed ops diverge: sequential %d, parallel %d", seqDone, parDone)
 	}
